@@ -1,0 +1,66 @@
+"""Experiment E8: which algorithm oscillates without delay.
+
+The paper's introduction distinguishes the two algorithm families: with the
+linear-increase / exponential-decrease (JRJ) law the undelayed system is a
+convergent spiral and any sustained oscillation must come from feedback
+delay, whereas the linear-increase / linear-decrease law can oscillate on
+its own.  The benchmark integrates the undelayed characteristic for each law
+(plus the multiplicative variant) and tabulates convergence versus sustained
+oscillation.
+"""
+
+from repro import integrate_characteristic
+from repro.analysis import format_table, oscillation_metrics
+from repro.control.jrj import JRJControl
+from repro.control.linear import LinearIncreaseLinearDecrease
+from repro.control.multiplicative import MultiplicativeIncreaseMultiplicativeDecrease
+
+
+def _build_laws():
+    return [
+        ("linear-increase/exponential-decrease (JRJ)",
+         JRJControl(c0=0.05, c1=0.2, q_target=10.0)),
+        ("linear-increase/linear-decrease",
+         LinearIncreaseLinearDecrease(c0=0.05, d0=0.05, q_target=10.0)),
+        ("multiplicative-increase/multiplicative-decrease",
+         MultiplicativeIncreaseMultiplicativeDecrease(
+             increase_gain=0.05, decrease_gain=0.2, q_target=10.0)),
+    ]
+
+
+def _run_comparison(params):
+    outcomes = []
+    for name, control in _build_laws():
+        trajectory = integrate_characteristic(control, params, q0=0.0,
+                                              rate0=0.5, t_end=900.0, dt=0.05)
+        metrics = oscillation_metrics(trajectory.times, trajectory.queue,
+                                      steady_fraction=0.3)
+        outcomes.append((name, metrics))
+    return outcomes
+
+
+def test_algorithm_family_comparison(benchmark, canonical_params):
+    outcomes = benchmark.pedantic(_run_comparison, args=(canonical_params,),
+                                  iterations=1, rounds=1)
+    rows = [
+        {
+            "algorithm": name,
+            "sustained oscillation (no delay)": metrics.sustained,
+            "steady amplitude": metrics.amplitude,
+            "mean queue": metrics.mean_value,
+        }
+        for name, metrics in outcomes
+    ]
+    print()
+    print(format_table(rows,
+                       title="E8: undelayed behaviour of the algorithm "
+                             "families"))
+
+    by_name = {name: metrics for name, metrics in outcomes}
+    jrj = by_name["linear-increase/exponential-decrease (JRJ)"]
+    linear = by_name["linear-increase/linear-decrease"]
+    # The JRJ law converges without delay; the linear-decrease law keeps
+    # oscillating on its own -- the paper's distinction.
+    assert not jrj.sustained
+    assert linear.sustained
+    assert linear.amplitude > 10.0 * max(jrj.amplitude, 0.01)

@@ -1,0 +1,43 @@
+"""Experiment E1 (Figure 1): sample queue-length trajectory under feedback control.
+
+Figure 1 of the paper shows a queue-length trajectory as a function of time
+for a source driven by the adaptive algorithm -- the motivating picture for
+the whole analysis.  The benchmark regenerates it from the packet-level
+simulator (one JRJ rate-controlled source feeding the bottleneck) and prints
+the resampled series.
+"""
+
+import numpy as np
+
+from repro.analysis import format_key_values, format_series
+from repro.queueing import Simulator
+from repro.workloads import packet_level_jrj_scenario
+
+
+def _run_trajectory():
+    config = packet_level_jrj_scenario(n_sources=1, service_rate=10.0,
+                                       q_target=10.0)
+    result = Simulator(config).run(duration=300.0)
+    return result
+
+
+def test_fig1_queue_length_trajectory(benchmark):
+    result = benchmark.pedantic(_run_trajectory, iterations=1, rounds=1)
+    times, queue = result.queue_length_series(n_samples=300)
+
+    print()
+    print(format_series("E1 / Figure 1: queue length versus time "
+                        "(single JRJ source, packet-level)",
+                        times, queue, x_label="time", y_label="queue",
+                        max_points=30))
+    print(format_key_values("E1 summary", {
+        "time-average queue": result.mean_queue_length,
+        "target queue": 10.0,
+        "utilization": result.utilization(),
+    }))
+
+    # Shape checks: the queue fluctuates around the target and the link is
+    # essentially fully used.
+    assert 3.0 < result.mean_queue_length < 20.0
+    assert result.utilization() > 0.85
+    assert np.max(queue) > np.min(queue)

@@ -1,0 +1,51 @@
+"""Experiment E2 (Figure 2): characteristic directions quadrant by quadrant.
+
+Figure 2 of the paper divides the (q, nu) phase plane into four quadrants by
+the lines q = q_target and nu = 0 and reads off the direction of the
+characteristic in each: up-right, down-right (towards larger q but falling
+rate), down-left, up-left.  The benchmark evaluates the drift signs from the
+JRJ control law and prints the reproduced table plus a sampled vector field.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.characteristics import quadrant_drift_table
+from repro.characteristics.phase_plane import drift_field
+
+
+def _build_table(control, params):
+    table = quadrant_drift_table(control, params)
+    q_values = np.linspace(0.0, 2.0 * params.q_target, 9)
+    v_values = np.linspace(-0.5, 0.5, 5)
+    field = drift_field(control, params, q_values, v_values)
+    return table, field
+
+
+def test_fig2_quadrant_characteristic_directions(benchmark, canonical_params,
+                                                 jrj_control):
+    table, (dq_dt, dv_dt) = benchmark.pedantic(
+        _build_table, args=(jrj_control, canonical_params),
+        iterations=1, rounds=1)
+
+    rows = [
+        {
+            "quadrant": entry.quadrant,
+            "region": entry.description,
+            "Q-drift": entry.q_drift_sign,
+            "nu-drift": entry.v_drift_sign,
+            "direction": entry.direction,
+        }
+        for entry in table
+    ]
+    print()
+    print(format_table(rows, title="E2 / Figure 2: drift signs per quadrant"))
+
+    signs = {entry.quadrant: (entry.q_drift_sign, entry.v_drift_sign)
+             for entry in table}
+    # The rotation pattern of Figure 2.
+    assert signs["I"] == (1, 1)
+    assert signs["II"] == (1, -1)
+    assert signs["III"] == (-1, -1)
+    assert signs["IV"] == (-1, 1)
+    assert dq_dt.shape == dv_dt.shape

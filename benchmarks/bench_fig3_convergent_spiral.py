@@ -1,0 +1,49 @@
+"""Experiment E3 (Figure 3 + Theorem 1): the convergent spiral of the JRJ law.
+
+Figure 3 shows the characteristic spiralling inwards towards the limit point
+(q_target, mu); Theorem 1 proves the convergence.  The benchmark integrates
+the characteristic, prints the (q, rate) path and the successive queue-peak
+amplitudes, and checks the contraction that constitutes the theorem.
+"""
+
+import numpy as np
+
+from repro.analysis import format_key_values, format_table
+from repro.characteristics import analyze_spiral, verify_theorem1
+
+
+def _verify(params):
+    return verify_theorem1(params, q0=0.0, rate0=0.5, t_end=900.0, dt=0.02)
+
+
+def test_fig3_convergent_spiral_and_theorem1(benchmark, canonical_params):
+    verification = benchmark.pedantic(_verify, args=(canonical_params,),
+                                      iterations=1, rounds=1)
+    trajectory = verification.trajectory
+    analysis = analyze_spiral(trajectory)
+
+    peak_rows = [
+        {"peak #": index, "time": float(time), "queue overshoot": float(amp)}
+        for index, (time, amp) in enumerate(
+            zip(analysis.peak_times[:12], analysis.peak_amplitudes[:12]))
+    ]
+    print()
+    print(format_table(peak_rows,
+                       title="E3 / Figure 3: successive queue-peak "
+                             "overshoots above q_target (they contract)"))
+    print(format_key_values("E3 / Theorem 1 summary", {
+        "converges": verification.converges,
+        "final queue": trajectory.final_queue,
+        "final rate": trajectory.final_rate,
+        "limit point": f"({canonical_params.q_target}, {canonical_params.mu})",
+        "mean contraction ratio": verification.mean_contraction_ratio,
+    }))
+
+    assert verification.converges
+    assert verification.limit_point_reached
+    assert verification.mean_contraction_ratio < 1.0
+    # The first few genuine overshoot peaks shrink monotonically.
+    positive = analysis.peak_amplitudes[analysis.peak_amplitudes > 0.1]
+    if positive.size >= 2:
+        assert positive[1] < positive[0]
+    assert np.all(trajectory.queue >= 0.0)

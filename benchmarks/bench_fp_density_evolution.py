@@ -1,0 +1,65 @@
+"""Experiment E4 (Section 4 / Equation 14): evolution of the joint density.
+
+The benchmark integrates the Fokker-Planck equation with a positive
+diffusion coefficient, prints the time series of the queue-length mean and
+standard deviation and the final marginal, and cross-checks the result
+against an independent Langevin Monte-Carlo ensemble of particles obeying
+the same dynamics.
+"""
+
+import numpy as np
+
+from repro import (
+    FokkerPlanckSolver,
+    TimeParameters,
+    compare_with_density,
+    run_ensemble,
+)
+from repro.analysis import format_key_values, format_table
+
+
+def _solve(noisy_params, jrj_control, bench_grid):
+    solver = FokkerPlanckSolver(noisy_params, jrj_control,
+                                grid_params=bench_grid)
+    fp = solver.solve_from_point(
+        q0=0.0, rate0=0.5,
+        time_params=TimeParameters(t_end=150.0, dt=0.5, snapshot_every=30))
+    return fp
+
+
+def test_fp_density_evolution_and_monte_carlo_check(benchmark, noisy_params,
+                                                    jrj_control, bench_grid):
+    fp = benchmark.pedantic(_solve,
+                            args=(noisy_params, jrj_control, bench_grid),
+                            iterations=1, rounds=1)
+
+    rows = [
+        {
+            "time": snapshot.time,
+            "mean_queue": snapshot.moments.mean_q,
+            "std_queue": snapshot.moments.std_q,
+            "mean_rate": snapshot.moments.mean_rate(noisy_params.mu),
+        }
+        for snapshot in fp.snapshots
+    ]
+    print()
+    print(format_table(rows, title="E4: Fokker-Planck moments over time"))
+
+    ensemble = run_ensemble(jrj_control, noisy_params, q0=0.0, rate0=0.5,
+                            t_end=150.0, dt=0.02, n_paths=2000,
+                            rng=np.random.default_rng(5))
+    comparison = compare_with_density(ensemble, fp)
+    print(format_key_values("E4: PDE versus Langevin ensemble", {
+        "FP mean queue": fp.final_moments.mean_q,
+        "MC mean queue": float(ensemble.mean_queue[-1]),
+        "FP std queue": fp.final_moments.std_q,
+        "MC std queue": float(ensemble.std_queue[-1]),
+        "marginal L1 distance": comparison["marginal_l1_distance"],
+    }))
+
+    # Shape checks: mass conserved, operating point near the target, the two
+    # independent solutions agree.
+    assert fp.final_moments.mass == 1.0 or abs(fp.final_moments.mass - 1.0) < 1e-6
+    assert abs(fp.final_moments.mean_q - noisy_params.q_target) < 4.0
+    assert comparison["mean_queue_difference"] < 1.5
+    assert comparison["marginal_l1_distance"] < 0.5

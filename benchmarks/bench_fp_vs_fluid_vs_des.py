@@ -1,0 +1,82 @@
+"""Experiment E9: Fokker-Planck versus fluid approximation versus simulation.
+
+The abstract positions the Fokker-Planck model against the fluid
+approximation of Bolot-Shankar: both track the mean behaviour, but only the
+FP model addresses traffic variability.  The benchmark runs, on identical
+parameters, (a) the fluid ODE model, (b) the Fokker-Planck solver, (c) the
+Langevin Monte-Carlo ensemble and (d) the packet-level simulator, then
+prints the mean queue each predicts together with the spread information
+that only the stochastic models provide.
+"""
+
+import numpy as np
+
+from repro import (
+    FluidModel,
+    compare_fluid_and_fokker_planck,
+    run_ensemble,
+)
+from repro.analysis import format_table
+from repro.queueing import Simulator
+from repro.workloads import packet_level_jrj_scenario, single_source_scenario
+
+
+def _run_comparison(bench_grid):
+    params, control = single_source_scenario(sigma=0.4)
+    comparison = compare_fluid_and_fokker_planck(
+        control, params, q0=0.0, rate0=0.5, t_end=120.0,
+        grid_params=bench_grid, buffer_size=20.0)
+    ensemble = run_ensemble(control, params, q0=0.0, rate0=0.5, t_end=120.0,
+                            dt=0.02, n_paths=1500,
+                            rng=np.random.default_rng(11))
+    return params, comparison, ensemble
+
+
+def test_fp_vs_fluid_vs_des(benchmark, bench_grid):
+    params, comparison, ensemble = benchmark.pedantic(
+        _run_comparison, args=(bench_grid,), iterations=1, rounds=1)
+
+    # Packet-level realisation of the same operating point (service rate is
+    # scaled by 10 so packets are fine-grained; queue targets match).
+    config = packet_level_jrj_scenario(n_sources=1, service_rate=10.0,
+                                       q_target=10.0, seed=2)
+    packet = Simulator(config).run(duration=300.0)
+
+    fp = comparison.fokker_planck
+    rows = [
+        {
+            "model": "fluid approximation (Bolot-Shankar)",
+            "mean queue": comparison.fluid.time_average_queue(),
+            "queue std": 0.0,
+            "P(Q > 20)": "n/a",
+        },
+        {
+            "model": "Fokker-Planck (this paper)",
+            "mean queue": fp.final_moments.mean_q,
+            "queue std": fp.final_moments.std_q,
+            "P(Q > 20)": comparison.overflow_probability,
+        },
+        {
+            "model": "Langevin Monte-Carlo",
+            "mean queue": float(ensemble.mean_queue[-1]),
+            "queue std": float(ensemble.std_queue[-1]),
+            "P(Q > 20)": ensemble.overflow_probability(20.0),
+        },
+        {
+            "model": "packet-level simulation",
+            "mean queue": packet.mean_queue_length,
+            "queue std": "n/a",
+            "P(Q > 20)": "n/a",
+        },
+    ]
+    print()
+    print(format_table(rows,
+                       title="E9: the four substrates on the same scenario"))
+
+    # Mean behaviour agrees across substrates; only the stochastic models
+    # carry spread information, which is the paper's point.
+    assert comparison.mean_queue_rmse < 3.0
+    assert abs(fp.final_moments.mean_q - float(ensemble.mean_queue[-1])) < 1.5
+    assert abs(fp.final_moments.mean_q - packet.mean_queue_length) < 5.0
+    assert fp.final_moments.std_q > 0.5
+    assert 0.0 <= comparison.overflow_probability <= 1.0

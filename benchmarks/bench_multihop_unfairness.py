@@ -1,0 +1,52 @@
+"""Experiment E11: hop-count unfairness on the parking-lot topology.
+
+The paper motivates its Section 7 analysis with the observation -- from
+Jacobson's measurements and Zhang's simulations -- that connections
+traversing more hops receive a poorer share of a shared intermediate
+resource.  The multi-hop simulator reproduces the observation directly: one
+long connection crosses ``n`` extra nodes before the node it shares with a
+one-hop connection, so its feedback returns later and its window grows more
+slowly per unit time.  The benchmark sweeps the extra hop count and prints
+the throughput split at the shared node.
+"""
+
+from repro.analysis import format_table
+from repro.queueing import MultiHopSimulator
+from repro.queueing.multihop import parking_lot_scenario
+
+EXTRA_HOPS = [1, 2, 4]
+
+
+def _sweep_hops():
+    results = []
+    for extra_hops in EXTRA_HOPS:
+        config = parking_lot_scenario(n_extra_hops=extra_hops,
+                                      service_rate=10.0, buffer_size=15,
+                                      hop_delay=0.3)
+        results.append(MultiHopSimulator(config).run(duration=300.0))
+    return results
+
+
+def test_hop_count_unfairness(benchmark):
+    results = benchmark.pedantic(_sweep_hops, iterations=1, rounds=1)
+
+    rows = []
+    for extra_hops, result in zip(EXTRA_HOPS, results):
+        by_hops = result.throughput_by_hop_count()
+        rows.append({
+            "long-path hops": by_hops[-1][0],
+            "short throughput": by_hops[0][2],
+            "long throughput": by_hops[-1][2],
+            "long/short ratio": result.long_to_short_ratio(),
+            "Jain index": result.fairness_index(),
+        })
+    print()
+    print(format_table(rows,
+                       title="E11: share of the shared node versus the "
+                             "long connection's hop count"))
+
+    ratios = [result.long_to_short_ratio() for result in results]
+    # The long connection always loses, and loses more the more hops it has.
+    assert all(ratio < 0.8 for ratio in ratios)
+    assert ratios == sorted(ratios, reverse=True)
+    assert all(result.fairness_index() < 0.95 for result in results)

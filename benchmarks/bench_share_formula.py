@@ -1,0 +1,47 @@
+"""Experiment E10 (Section 6): the exact share formula under unequal parameters.
+
+When the sources use different (C0, C1) the equilibrium shares are
+determined exactly: share_i proportional to C0_i / C1_i.  The benchmark
+sweeps increase-rate ratios, compares the simulated shares of the coupled
+model against the closed-form prediction and prints the table.
+"""
+
+import numpy as np
+
+from repro import MultiSourceModel, fairness_report, predicted_equilibrium_shares
+from repro.analysis import format_table
+from repro.workloads import heterogeneous_parameters_scenario
+
+
+def _run_share_experiment(ratios):
+    params, sources = heterogeneous_parameters_scenario(ratios=ratios)
+    trajectory = MultiSourceModel(sources, params).solve(t_end=900.0, dt=0.05)
+    report = fairness_report(trajectory, sources)
+    return sources, report
+
+
+def test_exact_share_formula(benchmark):
+    ratios = (1.0, 2.0, 4.0)
+    sources, report = benchmark.pedantic(_run_share_experiment, args=(ratios,),
+                                         iterations=1, rounds=1)
+    predicted = predicted_equilibrium_shares(sources)
+
+    rows = [
+        {
+            "source": name,
+            "C0": sources[index].c0,
+            "C1": sources[index].c1,
+            "predicted_share": float(predicted[index]),
+            "observed_share": float(report.observed_shares[index]),
+        }
+        for index, name in enumerate(report.source_names)
+    ]
+    print()
+    print(format_table(rows,
+                       title="E10: exact shares under unequal parameters "
+                             "(share_i ~ C0_i / C1_i)"))
+
+    assert np.allclose(report.observed_shares, predicted, atol=0.03)
+    # 1:2:4 increase rates give 1/7 : 2/7 : 4/7 of the capacity.
+    assert report.observed_shares[2] == predicted[2] or \
+        abs(report.observed_shares[2] - 4.0 / 7.0) < 0.05

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Delayed feedback turns the convergent spiral into a limit cycle (Section 7).
+
+The example sweeps the feedback delay of a single JRJ-controlled source and
+prints the steady-state oscillation amplitude and period of the queue.  With
+no delay the spiral converges (amplitude ~ 0); as the delay grows the system
+settles onto a limit cycle whose amplitude and period grow with the delay --
+the quantitative version of the oscillations observed by Zhang's simulations
+and Bolot-Shankar's fluid study that the paper explains.
+
+Run with:  python examples/delayed_feedback_oscillations.py
+"""
+
+from repro import SystemParameters, JRJControl, DelayedSystem, delay_sweep
+from repro.analysis import format_series, format_table
+
+
+def main() -> None:
+    params = SystemParameters(mu=1.0, q_target=10.0, c0=0.05, c1=0.2)
+    control = JRJControl(c0=params.c0, c1=params.c1, q_target=params.q_target)
+
+    # --- one detailed trajectory ------------------------------------------
+    delay = 5.0
+    trajectory = DelayedSystem(control, params, delay=delay).solve(
+        q0=0.0, rate0=0.5, t_end=400.0, dt=0.05)
+    print(format_series(
+        f"queue length with feedback delay tau = {delay} (tail of the run)",
+        trajectory.times[-2000:], trajectory.queue[-2000:],
+        x_label="time", y_label="queue", max_points=25))
+    print()
+
+    # --- amplitude / period versus delay -----------------------------------
+    delays = [0.0, 1.0, 2.0, 4.0, 6.0, 8.0, 12.0]
+    summaries = delay_sweep(control, params, delays, t_end=700.0, dt=0.05)
+    rows = [
+        {
+            "delay": summary.delay,
+            "sustained": summary.sustained,
+            "queue_amplitude": summary.queue_amplitude,
+            "rate_amplitude": summary.rate_amplitude,
+            "period": summary.period,
+            "mean_queue": summary.mean_queue,
+        }
+        for summary in summaries
+    ]
+    print(format_table(rows, title="oscillation versus feedback delay"))
+    print()
+    print("delay = 0 converges (Theorem 1); every positive delay sustains a "
+          "limit cycle whose amplitude and period grow with the delay.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""ASCII phase-portrait gallery: Figure 2 / Figure 3 style pictures in text.
+
+Three portraits of the (q, nu) phase plane:
+
+1. the convergent spiral of the undelayed JRJ law (Figure 3 of the paper),
+2. the limit cycle produced by a feedback delay (Section 7), and
+3. the self-sustained cycle of the linear-increase/linear-decrease law even
+   without any delay (the algorithm-family contrast of the introduction).
+
+Run with:  python examples/phase_portrait_gallery.py
+"""
+
+from repro import DelayedSystem, JRJControl, SystemParameters, integrate_characteristic
+from repro.analysis import render_trajectory_portrait
+from repro.control.linear import LinearIncreaseLinearDecrease
+
+
+def main() -> None:
+    params = SystemParameters(mu=1.0, q_target=10.0, c0=0.05, c1=0.2)
+    jrj = JRJControl(c0=params.c0, c1=params.c1, q_target=params.q_target)
+
+    print("1. JRJ law, no delay: convergent spiral into (q_target, mu)")
+    spiral = integrate_characteristic(jrj, params, q0=0.0, rate0=0.5,
+                                      t_end=600.0, dt=0.05)
+    print(render_trajectory_portrait(spiral))
+    print()
+
+    print("2. JRJ law with feedback delay tau = 6: limit cycle")
+    delayed = DelayedSystem(jrj, params, delay=6.0).solve(0.0, 0.5,
+                                                          t_end=600.0, dt=0.05)
+    print(render_trajectory_portrait(delayed))
+    print()
+
+    print("3. linear-increase/linear-decrease, no delay: the algorithm "
+          "itself cycles")
+    linear = LinearIncreaseLinearDecrease(c0=0.05, d0=0.05, q_target=10.0)
+    cycling = integrate_characteristic(linear, params, q0=0.0, rate0=0.5,
+                                       t_end=600.0, dt=0.05)
+    print(render_trajectory_portrait(cycling))
+
+
+if __name__ == "__main__":
+    main()

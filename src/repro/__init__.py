@@ -1,0 +1,184 @@
+"""Reproduction of "Analysis of Dynamic Congestion Control Protocols:
+A Fokker-Planck Approximation" (Mukherjee & Strikwerda, 1991).
+
+The package provides, as documented in DESIGN.md:
+
+* :mod:`repro.core` -- the Fokker-Planck solver for the joint density of
+  queue length and queue growth rate under feedback rate control
+  (Equation 14 of the paper),
+* :mod:`repro.control` -- the rate- and window-control algorithm library
+  (JRJ linear-increase/exponential-decrease and friends),
+* :mod:`repro.characteristics` -- the phase-plane analysis of Section 5
+  (quadrant drifts, convergent spiral, Theorem 1),
+* :mod:`repro.multisource` -- fairness and exact shares with many sources
+  (Section 6),
+* :mod:`repro.delay` -- delayed feedback, oscillations and unfairness
+  (Section 7),
+* :mod:`repro.fluid` -- the Bolot-Shankar fluid-approximation baseline,
+* :mod:`repro.queueing` -- a packet-level discrete-event simulator,
+* :mod:`repro.stochastic` -- Langevin Monte-Carlo validation of the PDE,
+* :mod:`repro.analysis`, :mod:`repro.workloads` -- metrics, report tables
+  and canonical scenarios shared by the examples and benchmarks.
+
+Quick start::
+
+    from repro import (SystemParameters, JRJControl, FokkerPlanckSolver,
+                       TimeParameters)
+
+    params = SystemParameters(mu=1.0, q_target=10.0, c0=0.05, c1=0.2, sigma=0.3)
+    control = JRJControl(c0=params.c0, c1=params.c1, q_target=params.q_target)
+    solver = FokkerPlanckSolver(params, control)
+    result = solver.solve_from_point(q0=0.0, rate0=0.5,
+                                     time_params=TimeParameters(t_end=100.0))
+    print(result.final_moments.mean_q, result.final_moments.std_q)
+"""
+
+from .config import (
+    DelayParameters,
+    GridParameters,
+    SourceParameters,
+    SystemParameters,
+    TimeParameters,
+)
+from .exceptions import (
+    AnalysisError,
+    ConfigurationError,
+    ConvergenceError,
+    GridError,
+    ReproError,
+    SimulationError,
+    StabilityError,
+)
+from .control import (
+    DECbitWindow,
+    JacobsonWindow,
+    JRJControl,
+    LinearIncreaseLinearDecrease,
+    MultiplicativeIncreaseMultiplicativeDecrease,
+    RateControl,
+    WindowControl,
+    available_controls,
+    create_control,
+)
+from .core import (
+    BoundaryConditions,
+    DensityMoments,
+    FokkerPlanckResult,
+    FokkerPlanckSolver,
+    ReducedSystemSolver,
+    compute_moments,
+    marginal_q,
+    marginal_v,
+    tail_probability,
+)
+from .characteristics import (
+    CharacteristicTrajectory,
+    analyze_spiral,
+    classify_equilibrium,
+    find_equilibrium,
+    integrate_characteristic,
+    is_convergent_spiral,
+    quadrant_drift_table,
+    verify_theorem1,
+)
+from .multisource import (
+    MultiSourceModel,
+    fairness_report,
+    jain_fairness_index,
+    predicted_equilibrium_shares,
+)
+from .delay import (
+    DelayedFokkerPlanckSolver,
+    DelayedSystem,
+    RoundTripUpdateModel,
+    critical_delay,
+    delay_sweep,
+    heterogeneous_delay_experiment,
+    measure_oscillation,
+)
+from .fluid import FluidModel, compare_fluid_and_fokker_planck
+from .queueing import (
+    MultiHopConfig,
+    MultiHopSimulator,
+    NetworkConfig,
+    SimulationResult,
+    Simulator,
+    SourceConfig,
+)
+from .stochastic import LangevinModel, compare_with_density, run_ensemble
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # configuration
+    "SystemParameters",
+    "GridParameters",
+    "TimeParameters",
+    "SourceParameters",
+    "DelayParameters",
+    # exceptions
+    "ReproError",
+    "ConfigurationError",
+    "GridError",
+    "ConvergenceError",
+    "StabilityError",
+    "SimulationError",
+    "AnalysisError",
+    # control laws
+    "RateControl",
+    "WindowControl",
+    "JRJControl",
+    "LinearIncreaseLinearDecrease",
+    "MultiplicativeIncreaseMultiplicativeDecrease",
+    "JacobsonWindow",
+    "DECbitWindow",
+    "create_control",
+    "available_controls",
+    # Fokker-Planck core
+    "FokkerPlanckSolver",
+    "FokkerPlanckResult",
+    "BoundaryConditions",
+    "DensityMoments",
+    "ReducedSystemSolver",
+    "compute_moments",
+    "marginal_q",
+    "marginal_v",
+    "tail_probability",
+    # characteristics / Section 5
+    "CharacteristicTrajectory",
+    "integrate_characteristic",
+    "quadrant_drift_table",
+    "find_equilibrium",
+    "classify_equilibrium",
+    "analyze_spiral",
+    "is_convergent_spiral",
+    "verify_theorem1",
+    # multiple sources / Section 6
+    "MultiSourceModel",
+    "predicted_equilibrium_shares",
+    "fairness_report",
+    "jain_fairness_index",
+    # delayed feedback / Section 7
+    "DelayedSystem",
+    "DelayedFokkerPlanckSolver",
+    "RoundTripUpdateModel",
+    "critical_delay",
+    "measure_oscillation",
+    "delay_sweep",
+    "heterogeneous_delay_experiment",
+    # fluid baseline
+    "FluidModel",
+    "compare_fluid_and_fokker_planck",
+    # packet-level simulator
+    "Simulator",
+    "SimulationResult",
+    "NetworkConfig",
+    "SourceConfig",
+    "MultiHopConfig",
+    "MultiHopSimulator",
+    # Monte-Carlo validation
+    "LangevinModel",
+    "run_ensemble",
+    "compare_with_density",
+]

@@ -1,0 +1,104 @@
+"""Convergence assessment of time series.
+
+Used to decide, for any of the substrates, whether a trajectory converges to
+a target value (Theorem 1's claim for the undelayed JRJ system) or keeps
+oscillating (the delayed-feedback regime), and how long it takes to settle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import AnalysisError
+
+__all__ = ["ConvergenceReport", "assess_convergence", "settling_time"]
+
+
+@dataclass(frozen=True)
+class ConvergenceReport:
+    """Outcome of a convergence assessment of one scalar time series.
+
+    Attributes
+    ----------
+    converged:
+        True when the series ends inside the tolerance band around the
+        target and stays there.
+    settling_time:
+        First time after which the series never leaves the band
+        (``None`` when it never settles).
+    final_value:
+        Last value of the series.
+    final_error:
+        Absolute difference between the final value and the target.
+    residual_amplitude:
+        Half the peak-to-trough swing over the last quarter of the series --
+        near zero for a converged series, positive for sustained
+        oscillation.
+    """
+
+    converged: bool
+    settling_time: Optional[float]
+    final_value: float
+    final_error: float
+    residual_amplitude: float
+
+
+def settling_time(times: np.ndarray, values: np.ndarray, target: float,
+                  tolerance: float) -> Optional[float]:
+    """First time after which ``|values − target| ≤ tolerance`` holds for good.
+
+    Returns ``None`` when the series never settles inside the band.
+    """
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if times.shape != values.shape or times.size == 0:
+        raise AnalysisError("times and values must be equal-length, non-empty")
+    inside = np.abs(values - target) <= tolerance
+    if not inside[-1]:
+        return None
+    # Walk backwards to the first index of the trailing all-inside run.
+    index = values.size - 1
+    while index > 0 and inside[index - 1]:
+        index -= 1
+    return float(times[index])
+
+
+def assess_convergence(times: np.ndarray, values: np.ndarray, target: float,
+                       tolerance: Optional[float] = None,
+                       tail_fraction: float = 0.25) -> ConvergenceReport:
+    """Assess whether the series converges to *target*.
+
+    Parameters
+    ----------
+    times, values:
+        The series to assess.
+    target:
+        The value convergence is measured against (e.g. ``q̂`` for the queue
+        or ``μ`` for the rate).
+    tolerance:
+        Band half-width; defaults to 10 % of ``max(|target|, 1)``.
+    tail_fraction:
+        Fraction of the series used to measure the residual oscillation
+        amplitude.
+    """
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if values.size < 4:
+        raise AnalysisError("need at least four samples to assess convergence")
+    if tolerance is None:
+        tolerance = 0.1 * max(abs(target), 1.0)
+
+    settle = settling_time(times, values, target, tolerance)
+    tail_start = int((1.0 - tail_fraction) * values.size)
+    tail = values[max(tail_start, 0):]
+    residual = 0.5 * float(np.max(tail) - np.min(tail))
+    final_value = float(values[-1])
+    final_error = abs(final_value - target)
+    converged = settle is not None and residual <= tolerance
+
+    return ConvergenceReport(converged=converged, settling_time=settle,
+                             final_value=final_value, final_error=final_error,
+                             residual_amplitude=residual)

@@ -1,0 +1,89 @@
+"""Share tables: fairness comparison across sources and substrates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import AnalysisError
+from ..multisource.fairness import jain_fairness_index
+
+__all__ = ["ShareTable", "share_table"]
+
+
+@dataclass
+class ShareTable:
+    """Per-source throughput shares with optional predictions.
+
+    Attributes
+    ----------
+    names:
+        Source labels.
+    throughputs:
+        Absolute throughputs (any common unit).
+    shares:
+        Normalised shares (sum to one).
+    predicted_shares:
+        Optional model prediction to compare against.
+    jain_index:
+        Jain fairness index of the throughputs.
+    """
+
+    names: List[str]
+    throughputs: np.ndarray
+    shares: np.ndarray
+    predicted_shares: Optional[np.ndarray]
+    jain_index: float
+
+    def max_prediction_error(self) -> float:
+        """Largest |observed − predicted| share (NaN without predictions)."""
+        if self.predicted_shares is None:
+            return float("nan")
+        return float(np.max(np.abs(self.shares - self.predicted_shares)))
+
+    def rows(self) -> List[dict]:
+        """One dictionary per source, ready for table formatting."""
+        rows = []
+        for i, name in enumerate(self.names):
+            row = {
+                "source": name,
+                "throughput": float(self.throughputs[i]),
+                "share": float(self.shares[i]),
+            }
+            if self.predicted_shares is not None:
+                row["predicted_share"] = float(self.predicted_shares[i])
+            rows.append(row)
+        return rows
+
+
+def share_table(names: Sequence[str], throughputs: Sequence[float],
+                predicted_shares: Optional[Sequence[float]] = None
+                ) -> ShareTable:
+    """Build a :class:`ShareTable` from raw throughputs.
+
+    Raises
+    ------
+    AnalysisError
+        On length mismatches or negative throughputs.
+    """
+    names = list(names)
+    throughputs = np.asarray(list(throughputs), dtype=float)
+    if len(names) != throughputs.size:
+        raise AnalysisError("names and throughputs must have the same length")
+    if np.any(throughputs < 0.0):
+        raise AnalysisError("throughputs must be non-negative")
+    total = float(np.sum(throughputs))
+    shares = (throughputs / total if total > 0.0
+              else np.full(throughputs.size, 1.0 / max(throughputs.size, 1)))
+
+    predicted = None
+    if predicted_shares is not None:
+        predicted = np.asarray(list(predicted_shares), dtype=float)
+        if predicted.size != throughputs.size:
+            raise AnalysisError("predicted_shares length mismatch")
+
+    return ShareTable(names=names, throughputs=throughputs, shares=shares,
+                      predicted_shares=predicted,
+                      jain_index=jain_fairness_index(throughputs))

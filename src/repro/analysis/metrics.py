@@ -1,0 +1,53 @@
+"""Small scalar metrics shared by the experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import AnalysisError
+
+__all__ = [
+    "overshoot",
+    "time_to_first_peak",
+    "mean_absolute_error",
+    "root_mean_square_error",
+]
+
+
+def overshoot(values: np.ndarray, target: float) -> float:
+    """Maximum excursion of *values* above *target* (zero when never exceeded)."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise AnalysisError("values must be non-empty")
+    return float(max(np.max(values) - target, 0.0))
+
+
+def time_to_first_peak(times: np.ndarray, values: np.ndarray) -> float:
+    """Time of the global maximum of the series."""
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if times.shape != values.shape or times.size == 0:
+        raise AnalysisError("times and values must be equal-length, non-empty")
+    return float(times[int(np.argmax(values))])
+
+
+def mean_absolute_error(a: np.ndarray, b: np.ndarray) -> float:
+    """Mean absolute difference of two equal-length series."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape:
+        raise AnalysisError("series must have the same shape")
+    if a.size == 0:
+        raise AnalysisError("series must be non-empty")
+    return float(np.mean(np.abs(a - b)))
+
+
+def root_mean_square_error(a: np.ndarray, b: np.ndarray) -> float:
+    """Root-mean-square difference of two equal-length series."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape:
+        raise AnalysisError("series must have the same shape")
+    if a.size == 0:
+        raise AnalysisError("series must be non-empty")
+    return float(np.sqrt(np.mean((a - b) ** 2)))

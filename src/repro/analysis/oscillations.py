@@ -1,0 +1,82 @@
+"""Oscillation metrics for arbitrary time series.
+
+A thin, substrate-independent wrapper over the peak/FFT utilities: given any
+``(times, values)`` series it reports whether a sustained oscillation is
+present and, if so, its amplitude and period.  The delayed-feedback and
+algorithm-comparison experiments use it on the queue-length output of every
+substrate so the numbers are directly comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import AnalysisError
+from ..numerics.spectral import detect_peaks, dominant_period
+
+__all__ = ["OscillationMetrics", "oscillation_metrics"]
+
+
+@dataclass(frozen=True)
+class OscillationMetrics:
+    """Amplitude / period summary of one series' steady-state window.
+
+    Attributes
+    ----------
+    amplitude:
+        Half the peak-to-trough swing over the analysis window.
+    period:
+        Dominant period (NaN when there is no sustained oscillation).
+    sustained:
+        Whether the amplitude exceeds the supplied floor.
+    mean_value:
+        Mean of the series over the window.
+    n_peaks:
+        Number of local maxima detected in the window.
+    """
+
+    amplitude: float
+    period: float
+    sustained: bool
+    mean_value: float
+    n_peaks: int
+
+
+def oscillation_metrics(times: np.ndarray, values: np.ndarray,
+                        steady_fraction: float = 0.5,
+                        amplitude_floor: float = 0.05) -> OscillationMetrics:
+    """Measure the steady-state oscillation of ``(times, values)``.
+
+    The final *steady_fraction* of the series is used so start-up transients
+    do not inflate the amplitude.
+    """
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if times.shape != values.shape or times.size < 8:
+        raise AnalysisError("need at least eight samples for oscillation metrics")
+    if not 0.0 < steady_fraction <= 1.0:
+        raise AnalysisError("steady_fraction must lie in (0, 1]")
+
+    start = int((1.0 - steady_fraction) * values.size)
+    window_times = times[start:]
+    window_values = values[start:]
+
+    amplitude = 0.5 * float(np.max(window_values) - np.min(window_values))
+    sustained = amplitude > amplitude_floor
+    peaks = detect_peaks(window_values)
+
+    period = float("nan")
+    if sustained and window_values.size >= 8:
+        dt = float(np.mean(np.diff(window_times)))
+        try:
+            period = dominant_period(window_values, dt)
+        except AnalysisError:
+            if len(peaks) >= 2:
+                period = float(np.mean(np.diff(window_times[peaks])))
+
+    return OscillationMetrics(amplitude=amplitude, period=period,
+                              sustained=sustained,
+                              mean_value=float(np.mean(window_values)),
+                              n_peaks=len(peaks))

@@ -1,0 +1,82 @@
+"""Plain-text tables and series for benchmark / example output.
+
+The benchmark harness prints the same rows and series the paper's figures
+show; these helpers keep that formatting in one place so every experiment's
+output looks the same and is easy to diff across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "format_key_values"]
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000.0 or magnitude < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, object]],
+                 columns: Sequence[str] = None, title: str = "") -> str:
+    """Render a list of row dictionaries as an aligned plain-text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+    rendered = [[_format_cell(row.get(col, "")) for col in columns]
+                for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in rendered))
+              for i, col in enumerate(columns)]
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in rendered:
+        lines.append(" | ".join(cell.ljust(widths[i])
+                                for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Iterable[float], ys: Iterable[float],
+                  x_label: str = "x", y_label: str = "y",
+                  max_points: int = 40) -> str:
+    """Render an ``(x, y)`` series as a compact two-column listing.
+
+    Long series are thinned to at most *max_points* evenly spaced samples so
+    benchmark output stays readable.
+    """
+    xs = list(xs)
+    ys = list(ys)
+    n = len(xs)
+    if n != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    if n == 0:
+        return f"{name}: (empty series)"
+    stride = max(1, n // max_points)
+    indices = list(range(0, n, stride))
+    if indices[-1] != n - 1:
+        indices.append(n - 1)
+    rows = [{x_label: float(xs[i]), y_label: float(ys[i])} for i in indices]
+    return format_table(rows, columns=[x_label, y_label], title=name)
+
+
+def format_key_values(title: str, values: Mapping[str, object]) -> str:
+    """Render a mapping as an aligned ``key : value`` block."""
+    if not values:
+        return f"{title}\n(none)"
+    width = max(len(str(key)) for key in values)
+    lines = [title]
+    for key, value in values.items():
+        lines.append(f"  {str(key).ljust(width)} : {_format_cell(value)}")
+    return "\n".join(lines)

@@ -1,0 +1,129 @@
+"""Numerical verification of Theorem 1.
+
+Theorem 1 of the paper states: *if σ² = 0, the JRJ algorithm converges in the
+limit; the limit point is ``Q = q̂``, ``λ = μ``.*  The proof follows the
+characteristic piecewise through the four quadrants (parabolic arcs below
+the target, exponential-decay arcs above it) and shows each successive
+excursion is strictly smaller than the previous one.
+
+:func:`verify_theorem1` reproduces the statement numerically for arbitrary
+parameters and initial conditions: it integrates the characteristic, checks
+that successive queue peaks contract, and reports the distance of the final
+state from the predicted limit point.  The analytical building block of the
+proof -- the first parabolic arc below the target, ``d²q/dt² = C0`` -- is
+also exposed so tests can compare the integrator against the closed form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import SystemParameters
+from ..control.jrj import JRJControl
+from ..exceptions import AnalysisError
+from .limit_cycle import analyze_spiral
+from .trajectory import CharacteristicTrajectory, integrate_characteristic
+
+__all__ = ["Theorem1Verification", "verify_theorem1", "parabolic_arc_queue"]
+
+
+@dataclass(frozen=True)
+class Theorem1Verification:
+    """Outcome of a numerical check of Theorem 1 for one parameter set.
+
+    Attributes
+    ----------
+    converges:
+        Whether the trajectory's queue peaks contract (the theorem's claim).
+    final_queue_error:
+        ``|q(T) − q̂|`` at the end of the run.
+    final_rate_error:
+        ``|λ(T) − μ|`` at the end of the run.
+    mean_contraction_ratio:
+        Mean ratio of successive peak amplitudes (< 1 for convergence).
+    n_oscillations:
+        Number of overshoot peaks observed before settling.
+    trajectory:
+        The underlying characteristic trajectory, kept for plotting/benches.
+    """
+
+    converges: bool
+    final_queue_error: float
+    final_rate_error: float
+    mean_contraction_ratio: float
+    n_oscillations: int
+    trajectory: CharacteristicTrajectory
+
+    @property
+    def limit_point_reached(self) -> bool:
+        """True when the final state is close to ``(q̂, μ)`` in relative terms."""
+        q_scale = max(self.trajectory.q_target, 1.0)
+        return (self.final_queue_error <= 0.15 * q_scale
+                and self.final_rate_error <= 0.15 * self.trajectory.mu)
+
+
+def parabolic_arc_queue(times: np.ndarray, q_start: float, rate_start: float,
+                        params: SystemParameters) -> np.ndarray:
+    """Closed-form queue evolution on the increase side (``q ≤ q̂``).
+
+    While the queue stays below the target the JRJ law gives
+    ``d²q/dt² = dλ/dt = C0`` so, starting from ``(q_start, λ_start)``,
+
+        q(t) = q_start + (λ_start − μ) t + C0 t² / 2,
+
+    the parabolic arc used in the paper's proof of Theorem 1 (its
+    Equation 18).  Valid until the arc reaches ``q = q̂`` or ``q = 0``.
+    """
+    times = np.asarray(times, dtype=float)
+    return q_start + (rate_start - params.mu) * times + 0.5 * params.c0 * times ** 2
+
+
+def verify_theorem1(params: SystemParameters, q0: float = 0.0,
+                    rate0: float = None, t_end: float = None,
+                    dt: float = 0.02) -> Theorem1Verification:
+    """Numerically verify Theorem 1 for the given parameters.
+
+    Parameters
+    ----------
+    params:
+        System parameters; ``sigma`` is ignored (the theorem is about the
+        reduced system).
+    q0, rate0:
+        Initial queue and rate.  The default starting rate is half the
+        service rate, matching the "λ0 less than μ" setting used in the
+        paper's proof sketch.
+    t_end:
+        Integration horizon; the default scales with the natural time the
+        spiral needs (several increase/decrease cycles).
+    """
+    if rate0 is None:
+        rate0 = 0.5 * params.mu
+    if t_end is None:
+        # One increase sweep takes about sqrt(2 q_target / C0); allow many.
+        sweep = np.sqrt(max(2.0 * params.q_target / params.c0, 1.0))
+        t_end = 60.0 * sweep
+
+    control = JRJControl(c0=params.c0, c1=params.c1, q_target=params.q_target)
+    trajectory = integrate_characteristic(control, params, q0=q0, rate0=rate0,
+                                          t_end=t_end, dt=dt)
+
+    try:
+        analysis = analyze_spiral(trajectory)
+        converges = analysis.converges
+        mean_ratio = analysis.mean_contraction
+        n_oscillations = analysis.n_oscillations
+    except AnalysisError:
+        # No peaks at all: monotone settling, which satisfies the theorem.
+        converges = True
+        mean_ratio = 0.0
+        n_oscillations = 0
+
+    return Theorem1Verification(
+        converges=converges,
+        final_queue_error=abs(trajectory.final_queue - params.q_target),
+        final_rate_error=abs(trajectory.final_rate - params.mu),
+        mean_contraction_ratio=float(mean_ratio) if np.isfinite(mean_ratio) else 0.0,
+        n_oscillations=n_oscillations,
+        trajectory=trajectory)

@@ -1,0 +1,137 @@
+"""Characteristic trajectories of the reduced system.
+
+A characteristic is the path a 'particle' obeying both the control law and
+the queue dynamics traces in the ``(q, ν)`` phase plane:
+
+    dq/dt = λ − μ  (= ν),      dλ/dt = g(q, λ).
+
+The paper's stability and fairness arguments all follow the geometry of
+these curves; :func:`integrate_characteristic` produces them and
+:class:`CharacteristicTrajectory` provides the derived series (growth rate,
+distance to the limit point, crossings of the target line) that the later
+analyses consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..config import SystemParameters
+from ..control.base import RateControl
+from ..numerics.ode import integrate_fixed
+
+__all__ = ["CharacteristicTrajectory", "integrate_characteristic"]
+
+
+@dataclass
+class CharacteristicTrajectory:
+    """A single characteristic path in the ``(q, λ)`` plane.
+
+    Attributes
+    ----------
+    times:
+        Sample times.
+    queue:
+        Queue length ``q(t)`` along the path.
+    rate:
+        Arrival rate ``λ(t)`` along the path.
+    mu:
+        Service rate, kept so growth-rate and distance computations need no
+        extra argument.
+    q_target:
+        Target queue length ``q̂`` of the control law.
+    """
+
+    times: np.ndarray
+    queue: np.ndarray
+    rate: np.ndarray
+    mu: float
+    q_target: float
+
+    @property
+    def growth_rate(self) -> np.ndarray:
+        """Queue growth rate ``ν(t) = λ(t) − μ``."""
+        return self.rate - self.mu
+
+    @property
+    def final_queue(self) -> float:
+        """Queue length at the end of the run."""
+        return float(self.queue[-1])
+
+    @property
+    def final_rate(self) -> float:
+        """Arrival rate at the end of the run."""
+        return float(self.rate[-1])
+
+    def distance_to_limit_point(self) -> np.ndarray:
+        """Euclidean distance to the Theorem 1 limit point ``(q̂, μ)``.
+
+        Queue and rate are normalised by the target queue and the service
+        rate respectively so the two coordinates are comparable.
+        """
+        q_scale = max(self.q_target, 1.0)
+        r_scale = max(self.mu, 1e-12)
+        return np.sqrt(((self.queue - self.q_target) / q_scale) ** 2
+                       + ((self.rate - self.mu) / r_scale) ** 2)
+
+    def target_crossings(self) -> List[int]:
+        """Indices where the path crosses the ``q = q̂`` switching line."""
+        offset = self.queue - self.q_target
+        crossings: List[int] = []
+        for i in range(1, offset.size):
+            if offset[i - 1] == 0.0:
+                continue
+            if offset[i - 1] * offset[i] < 0.0:
+                crossings.append(i)
+        return crossings
+
+    def time_average_rate(self, skip_fraction: float = 0.2) -> float:
+        """Time-average arrival rate over the trajectory tail.
+
+        The first *skip_fraction* of the run is discarded as transient; the
+        remainder is averaged with trapezoidal weights, giving the long-run
+        throughput the source obtains -- the quantity used in the fairness
+        analyses.
+        """
+        start = int(skip_fraction * self.times.size)
+        start = min(max(start, 0), self.times.size - 2)
+        times = self.times[start:]
+        rates = self.rate[start:]
+        duration = times[-1] - times[0]
+        if duration <= 0.0:
+            return float(rates[-1])
+        return float(np.trapezoid(rates, times) / duration)
+
+
+def integrate_characteristic(control: RateControl, params: SystemParameters,
+                             q0: float, rate0: float, t_end: float,
+                             dt: float = 0.02) -> CharacteristicTrajectory:
+    """Integrate one characteristic of the reduced system.
+
+    The physical constraints ``q ≥ 0`` and ``λ ≥ 0`` are enforced by
+    projection after every step, and the queue drift is pinned to zero when
+    the queue is empty and the arrival rate is below the service rate
+    (the paper's convention for ν at the boundary).
+    """
+
+    def rhs(_t: float, state: np.ndarray) -> np.ndarray:
+        q, lam = state
+        dq = lam - params.mu
+        if q <= 0.0 and dq < 0.0:
+            dq = 0.0
+        dlam = control.drift(q, lam)
+        return np.array([dq, dlam])
+
+    def project(state: np.ndarray) -> np.ndarray:
+        return np.array([max(state[0], 0.0), max(state[1], 0.0)])
+
+    result = integrate_fixed(rhs, [q0, rate0], t_end=t_end, dt=dt,
+                             projection=project)
+    q_target = getattr(control, "q_target", params.q_target)
+    return CharacteristicTrajectory(times=result.times,
+                                    queue=result.states[:, 0],
+                                    rate=result.states[:, 1],
+                                    mu=params.mu, q_target=q_target)

@@ -1,0 +1,212 @@
+"""Command-line interface for the reproduction's main experiments.
+
+Installs no extra dependencies and prints the same plain-text tables the
+benchmark harness uses, so results can be regenerated without touching
+Python::
+
+    python -m repro.cli theorem1
+    python -m repro.cli density --sigma 0.5 --t-end 150
+    python -m repro.cli delay-sweep --delays 0 2 4 8
+    python -m repro.cli fairness --sources 4
+    python -m repro.cli multihop --extra-hops 3
+
+Each sub-command maps onto one experiment family of DESIGN.md; the heavier
+parameter sweeps remain in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis import (
+    format_key_values,
+    format_table,
+    render_trajectory_portrait,
+)
+from .characteristics import verify_theorem1
+from .config import SystemParameters, TimeParameters
+from .control.jrj import JRJControl
+from .core.solver import FokkerPlanckSolver
+from .delay import delay_sweep
+from .multisource import MultiSourceModel, fairness_report
+from .queueing import MultiHopSimulator
+from .queueing.multihop import parking_lot_scenario
+from .workloads import homogeneous_sources_scenario
+
+__all__ = ["main", "build_parser"]
+
+
+def _system_parameters(args: argparse.Namespace) -> SystemParameters:
+    return SystemParameters(mu=args.mu, q_target=args.q_target, c0=args.c0,
+                            c1=args.c1, sigma=getattr(args, "sigma", 0.0))
+
+
+def _add_common_parameters(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--mu", type=float, default=1.0,
+                        help="bottleneck service rate (default 1.0)")
+    parser.add_argument("--q-target", type=float, default=10.0,
+                        help="target queue length q_hat (default 10)")
+    parser.add_argument("--c0", type=float, default=0.05,
+                        help="linear increase rate C0 (default 0.05)")
+    parser.add_argument("--c1", type=float, default=0.2,
+                        help="exponential decrease constant C1 (default 0.2)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser with all sub-commands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fokker-Planck analysis of dynamic congestion control "
+                    "(Mukherjee & Strikwerda, 1991) - experiment runner")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    theorem1 = subparsers.add_parser(
+        "theorem1", help="verify Theorem 1 (stability without delay)")
+    _add_common_parameters(theorem1)
+    theorem1.add_argument("--portrait", action="store_true",
+                          help="also print the ASCII phase portrait")
+
+    density = subparsers.add_parser(
+        "density", help="solve the Fokker-Planck equation (Equation 14)")
+    _add_common_parameters(density)
+    density.add_argument("--sigma", type=float, default=0.5,
+                         help="diffusion coefficient (default 0.5)")
+    density.add_argument("--t-end", type=float, default=150.0,
+                         help="integration horizon (default 150)")
+
+    sweep = subparsers.add_parser(
+        "delay-sweep", help="oscillation amplitude/period versus feedback delay")
+    _add_common_parameters(sweep)
+    sweep.add_argument("--delays", type=float, nargs="+",
+                       default=[0.0, 2.0, 4.0, 8.0],
+                       help="feedback delays to sweep")
+    sweep.add_argument("--t-end", type=float, default=600.0,
+                       help="integration horizon per delay (default 600)")
+
+    fairness = subparsers.add_parser(
+        "fairness", help="multi-source fairness (Section 6)")
+    _add_common_parameters(fairness)
+    fairness.add_argument("--sources", type=int, default=4,
+                          help="number of identical sources (default 4)")
+    fairness.add_argument("--t-end", type=float, default=700.0,
+                          help="integration horizon (default 700)")
+
+    multihop = subparsers.add_parser(
+        "multihop", help="hop-count unfairness on the parking-lot topology")
+    multihop.add_argument("--extra-hops", type=int, default=2,
+                          help="hops the long connection traverses before "
+                               "the shared node (default 2)")
+    multihop.add_argument("--duration", type=float, default=300.0,
+                          help="simulated duration (default 300)")
+    multihop.add_argument("--service-rate", type=float, default=10.0,
+                          help="per-node service rate (default 10)")
+
+    return parser
+
+
+def _run_theorem1(args: argparse.Namespace) -> int:
+    params = _system_parameters(args)
+    verification = verify_theorem1(params)
+    print(format_key_values("Theorem 1 verification", {
+        "converges": verification.converges,
+        "final |q - q_target|": verification.final_queue_error,
+        "final |rate - mu|": verification.final_rate_error,
+        "mean peak contraction": verification.mean_contraction_ratio,
+    }))
+    if args.portrait:
+        print()
+        print(render_trajectory_portrait(verification.trajectory))
+    return 0 if verification.converges else 1
+
+
+def _run_density(args: argparse.Namespace) -> int:
+    params = _system_parameters(args)
+    control = JRJControl(c0=params.c0, c1=params.c1, q_target=params.q_target)
+    solver = FokkerPlanckSolver(params, control)
+    result = solver.solve_from_point(
+        q0=0.0, rate0=0.5 * params.mu,
+        time_params=TimeParameters(t_end=args.t_end,
+                                   dt=max(args.t_end / 300.0, 0.1),
+                                   snapshot_every=30))
+    rows = [
+        {
+            "time": snapshot.time,
+            "mean_queue": snapshot.moments.mean_q,
+            "std_queue": snapshot.moments.std_q,
+        }
+        for snapshot in result.snapshots
+    ]
+    print(format_table(rows, title="Fokker-Planck moments over time"))
+    print(format_key_values("final density", {
+        "mean queue": result.final_moments.mean_q,
+        "std queue": result.final_moments.std_q,
+        "P(Q > 2 q_target)": result.overflow_probability(2.0 * params.q_target),
+    }))
+    return 0
+
+
+def _run_delay_sweep(args: argparse.Namespace) -> int:
+    params = _system_parameters(args)
+    control = JRJControl(c0=params.c0, c1=params.c1, q_target=params.q_target)
+    summaries = delay_sweep(control, params, args.delays, t_end=args.t_end)
+    rows = [
+        {
+            "delay": summary.delay,
+            "sustained": summary.sustained,
+            "queue_amplitude": summary.queue_amplitude,
+            "period": summary.period,
+        }
+        for summary in summaries
+    ]
+    print(format_table(rows, title="oscillation versus feedback delay"))
+    return 0
+
+
+def _run_fairness(args: argparse.Namespace) -> int:
+    params, sources = homogeneous_sources_scenario(
+        n_sources=args.sources, mu=args.mu, q_target=args.q_target,
+        c0=args.c0, c1=args.c1)
+    trajectory = MultiSourceModel(sources, params).solve(t_end=args.t_end,
+                                                         dt=0.05)
+    report = fairness_report(trajectory, sources)
+    print(format_table(report.rows(), title="multi-source fairness"))
+    print(format_key_values("summary", {"Jain index": report.jain_index}))
+    return 0
+
+
+def _run_multihop(args: argparse.Namespace) -> int:
+    config = parking_lot_scenario(n_extra_hops=args.extra_hops,
+                                  service_rate=args.service_rate)
+    result = MultiHopSimulator(config).run(duration=args.duration)
+    rows = [
+        {"route": name, "hops": hops, "throughput": throughput}
+        for hops, name, throughput in result.throughput_by_hop_count()
+    ]
+    print(format_table(rows, title="throughput by hop count (parking lot)"))
+    print(format_key_values("summary", {
+        "long/short throughput ratio": result.long_to_short_ratio(),
+        "Jain index": result.fairness_index(),
+    }))
+    return 0
+
+
+_COMMANDS = {
+    "theorem1": _run_theorem1,
+    "density": _run_density,
+    "delay-sweep": _run_delay_sweep,
+    "fairness": _run_fairness,
+    "multihop": _run_multihop,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

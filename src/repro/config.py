@@ -1,0 +1,192 @@
+"""Parameter dataclasses shared across the library.
+
+The central object is :class:`SystemParameters`, which captures the
+physical description of the controlled queue studied in the paper:
+
+* ``mu`` -- the mean service rate of the bottleneck (packets / unit time),
+* ``q_target`` -- the target queue length ``q̂`` at which the control law
+  switches from *increase* to *decrease*,
+* ``c0`` -- the linear increase rate (``dλ/dt = C0`` while ``Q ≤ q̂``),
+* ``c1`` -- the exponential decrease constant (``dλ/dt = −C1 λ`` while
+  ``Q > q̂``),
+* ``sigma`` -- the diffusion coefficient ``σ`` of Equation 14, modelling the
+  variability of the queue growth rate (``σ = 0`` recovers the reduced
+  hyperbolic system analysed in Section 5 of the paper).
+
+All dataclasses validate their fields on construction and raise
+:class:`repro.exceptions.ConfigurationError` on inconsistent input, so that
+errors surface where the mistake was made rather than deep inside a solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from .exceptions import ConfigurationError
+
+__all__ = [
+    "SystemParameters",
+    "GridParameters",
+    "TimeParameters",
+    "SourceParameters",
+    "DelayParameters",
+]
+
+
+def _require(condition: bool, message: str) -> None:
+    """Raise :class:`ConfigurationError` with *message* unless *condition*."""
+    if not condition:
+        raise ConfigurationError(message)
+
+
+@dataclass(frozen=True)
+class SystemParameters:
+    """Physical parameters of the controlled bottleneck queue.
+
+    Parameters
+    ----------
+    mu:
+        Mean service rate of the bottleneck node (must be positive).
+    q_target:
+        Target queue length ``q̂`` of the adaptive algorithm (non-negative).
+    c0:
+        Linear increase rate ``C0 > 0`` used while the queue is below target.
+    c1:
+        Exponential decrease constant ``C1 > 0`` used above target.
+    sigma:
+        Diffusion coefficient ``σ ≥ 0`` of the Fokker-Planck equation.  A
+        value of zero selects the reduced (purely hyperbolic) system.
+    """
+
+    mu: float = 1.0
+    q_target: float = 10.0
+    c0: float = 0.05
+    c1: float = 0.2
+    sigma: float = 0.0
+
+    def __post_init__(self) -> None:
+        _require(self.mu > 0.0, f"service rate mu must be positive, got {self.mu}")
+        _require(self.q_target >= 0.0,
+                 f"target queue length must be non-negative, got {self.q_target}")
+        _require(self.c0 > 0.0, f"increase rate c0 must be positive, got {self.c0}")
+        _require(self.c1 > 0.0, f"decrease constant c1 must be positive, got {self.c1}")
+        _require(self.sigma >= 0.0, f"sigma must be non-negative, got {self.sigma}")
+
+    def with_sigma(self, sigma: float) -> "SystemParameters":
+        """Return a copy of these parameters with a different ``sigma``."""
+        return replace(self, sigma=sigma)
+
+    def with_rates(self, c0: Optional[float] = None,
+                   c1: Optional[float] = None) -> "SystemParameters":
+        """Return a copy with updated increase/decrease constants."""
+        return replace(
+            self,
+            c0=self.c0 if c0 is None else c0,
+            c1=self.c1 if c1 is None else c1,
+        )
+
+    @property
+    def equilibrium_rate(self) -> float:
+        """The arrival rate at the limit point of Theorem 1 (``λ* = μ``)."""
+        return self.mu
+
+    @property
+    def equilibrium_queue(self) -> float:
+        """The queue length at the limit point of Theorem 1 (``Q* = q̂``)."""
+        return self.q_target
+
+
+@dataclass(frozen=True)
+class GridParameters:
+    """Discretisation of the ``(q, ν)`` phase plane for the PDE solver.
+
+    The queue axis spans ``[0, q_max]`` with ``nq`` cells and the
+    growth-rate axis spans ``[v_min, v_max]`` with ``nv`` cells.
+    """
+
+    q_max: float = 40.0
+    nq: int = 120
+    v_min: float = -1.5
+    v_max: float = 1.5
+    nv: int = 90
+
+    def __post_init__(self) -> None:
+        _require(self.q_max > 0.0, "q_max must be positive")
+        _require(self.nq >= 4, "nq must be at least 4")
+        _require(self.nv >= 4, "nv must be at least 4")
+        _require(self.v_max > self.v_min,
+                 "v_max must be strictly greater than v_min")
+
+    @property
+    def dq(self) -> float:
+        """Cell width along the queue axis."""
+        return self.q_max / self.nq
+
+    @property
+    def dv(self) -> float:
+        """Cell width along the growth-rate axis."""
+        return (self.v_max - self.v_min) / self.nv
+
+
+@dataclass(frozen=True)
+class TimeParameters:
+    """Time-integration horizon and step control for PDE / ODE solvers."""
+
+    t_end: float = 200.0
+    dt: float = 0.05
+    cfl: float = 0.8
+    snapshot_every: int = 10
+
+    def __post_init__(self) -> None:
+        _require(self.t_end > 0.0, "t_end must be positive")
+        _require(self.dt > 0.0, "dt must be positive")
+        _require(0.0 < self.cfl <= 1.0, "cfl must lie in (0, 1]")
+        _require(self.snapshot_every >= 1, "snapshot_every must be >= 1")
+
+    @property
+    def n_steps(self) -> int:
+        """Number of full time steps of size ``dt`` needed to reach ``t_end``."""
+        return max(1, int(round(self.t_end / self.dt)))
+
+
+@dataclass(frozen=True)
+class SourceParameters:
+    """Per-source control parameters for multi-source scenarios.
+
+    Each source ``i`` runs its own copy of the adaptive algorithm with its
+    own increase rate ``c0``, decrease constant ``c1`` and feedback delay
+    ``delay`` (in the same time units as the service rate).
+    """
+
+    c0: float = 0.05
+    c1: float = 0.2
+    delay: float = 0.0
+    initial_rate: float = 0.0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        _require(self.c0 > 0.0, "c0 must be positive")
+        _require(self.c1 > 0.0, "c1 must be positive")
+        _require(self.delay >= 0.0, "delay must be non-negative")
+        _require(self.initial_rate >= 0.0, "initial_rate must be non-negative")
+
+
+@dataclass(frozen=True)
+class DelayParameters:
+    """Feedback-delay configuration for Section 7 experiments."""
+
+    delay: float = 2.0
+    history_dt: float = 0.01
+
+    def __post_init__(self) -> None:
+        _require(self.delay >= 0.0, "delay must be non-negative")
+        _require(self.history_dt > 0.0, "history_dt must be positive")
+
+
+@dataclass
+class SweepResult:
+    """Container pairing a swept parameter value with an arbitrary result."""
+
+    parameter: float
+    result: object = field(default=None)

@@ -1,0 +1,94 @@
+"""Abstract interfaces for rate-based and window-based congestion control.
+
+The central abstraction is :class:`RateControl`: a deterministic law
+``g(q, λ)`` giving the instantaneous rate of change of the arrival rate as a
+function of the observed queue length ``q`` and the current rate ``λ``.
+This is exactly the ``g(·)`` of Equation 4 in the paper and it is consumed
+unchanged by
+
+* the Fokker-Planck solver (as the drift of the ν-advection term),
+* the characteristic/ODE analyses of Section 5,
+* the fluid (Bolot-Shankar) baseline, and
+* the rate-based sources of the discrete-event simulator.
+
+:class:`WindowControl` is the discrete, event-driven analogue used by the
+packet-level simulator: the window is updated on each acknowledgement or
+loss/congestion signal, matching the original window formulation
+(Equation 1 of the paper).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["RateControl", "WindowControl"]
+
+
+class RateControl(ABC):
+    """A rate-adjustment law ``dλ/dt = g(q, λ)``.
+
+    Implementations must be side-effect free: ``drift`` may be called with
+    scalars or with numpy arrays (vectorised over a phase-plane grid) and
+    must return the matching shape.
+    """
+
+    @abstractmethod
+    def drift(self, queue_length, rate):
+        """Return ``dλ/dt`` for observed queue length(s) and current rate(s).
+
+        Parameters
+        ----------
+        queue_length:
+            Scalar or array of observed queue lengths ``q``.
+        rate:
+            Scalar or array of current arrival rates ``λ`` (same shape).
+        """
+
+    def drift_in_growth_coordinates(self, queue_length, growth_rate, mu: float):
+        """Return ``dν/dt`` where ``ν = λ − μ`` is the queue growth rate.
+
+        Since ``μ`` is constant, ``dν/dt = dλ/dt`` evaluated at
+        ``λ = ν + μ``; this is the form used on the ``(q, ν)`` phase grid of
+        the Fokker-Planck solver.
+        """
+        return self.drift(queue_length, np.asarray(growth_rate) + mu)
+
+    @property
+    def name(self) -> str:
+        """Human-readable name of the control law."""
+        return type(self).__name__
+
+    def describe(self) -> str:
+        """One-line description used in reports and benchmark tables."""
+        return self.name
+
+
+class WindowControl(ABC):
+    """Event-driven window adjustment (Equation 1 of the paper).
+
+    The simulator calls :meth:`on_ack` for every acknowledgement that does
+    not signal congestion and :meth:`on_congestion` when congestion is
+    detected (a lost packet for the implicit-feedback Jacobson scheme, or a
+    set congestion bit for the explicit-feedback DECbit scheme).  Both
+    return the new window size.
+    """
+
+    @abstractmethod
+    def on_ack(self, window: float) -> float:
+        """Return the new window after a congestion-free acknowledgement."""
+
+    @abstractmethod
+    def on_congestion(self, window: float) -> float:
+        """Return the new window after a congestion indication."""
+
+    @property
+    def minimum_window(self) -> float:
+        """Smallest window the law will return (defaults to one packet)."""
+        return 1.0
+
+    @property
+    def name(self) -> str:
+        """Human-readable name of the window law."""
+        return type(self).__name__

@@ -1,0 +1,72 @@
+"""The Jacobson / Ramakrishnan-Jain rate-control law (Equation 2).
+
+This is the paper's central example: a *linear increase* of the arrival rate
+while the observed queue is at or below the target ``q̂`` and an
+*exponential decrease* above it,
+
+    dλ/dt =  C0          if q ≤ q̂,
+    dλ/dt = −C1 λ        if q > q̂.
+
+It is the rate analogue of the window algorithm of Jacobson [Jac 88] and
+Ramakrishnan-Jain [RaJa 88]: additive increase of the window when no
+congestion is seen, multiplicative decrease when congestion is detected.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import SystemParameters
+from ..exceptions import ConfigurationError
+from .base import RateControl
+
+__all__ = ["JRJControl", "jrj_from_parameters"]
+
+
+class JRJControl(RateControl):
+    """Linear-increase / exponential-decrease rate control.
+
+    Parameters
+    ----------
+    c0:
+        Linear increase rate ``C0 > 0`` (rate units per unit time).
+    c1:
+        Exponential decrease constant ``C1 > 0`` (per unit time).
+    q_target:
+        Target queue length ``q̂ ≥ 0`` separating the increase and decrease
+        regions.
+    """
+
+    def __init__(self, c0: float, c1: float, q_target: float):
+        if c0 <= 0.0:
+            raise ConfigurationError(f"c0 must be positive, got {c0}")
+        if c1 <= 0.0:
+            raise ConfigurationError(f"c1 must be positive, got {c1}")
+        if q_target < 0.0:
+            raise ConfigurationError(f"q_target must be non-negative, got {q_target}")
+        self.c0 = float(c0)
+        self.c1 = float(c1)
+        self.q_target = float(q_target)
+
+    def drift(self, queue_length, rate):
+        """Return ``dλ/dt`` following Equation 2 of the paper.
+
+        Vectorised: accepts scalars or arrays for both arguments.
+        """
+        queue_length = np.asarray(queue_length, dtype=float)
+        rate = np.asarray(rate, dtype=float)
+        increase = np.full(np.broadcast(queue_length, rate).shape, self.c0)
+        decrease = -self.c1 * rate
+        result = np.where(queue_length <= self.q_target, increase, decrease)
+        if result.shape == ():
+            return float(result)
+        return result
+
+    def describe(self) -> str:
+        return (f"JRJ linear-increase/exponential-decrease "
+                f"(C0={self.c0:g}, C1={self.c1:g}, q_target={self.q_target:g})")
+
+
+def jrj_from_parameters(params: SystemParameters) -> JRJControl:
+    """Build a :class:`JRJControl` from a :class:`SystemParameters` object."""
+    return JRJControl(c0=params.c0, c1=params.c1, q_target=params.q_target)

@@ -1,0 +1,70 @@
+"""Linear-increase / linear-decrease rate-control laws.
+
+The paper's Section 1 observes that if the adaptive algorithm is
+linear-increase / *linear*-decrease then oscillations can arise from the
+algorithm itself, not only from delayed feedback (unlike the JRJ law whose
+undelayed dynamics are a convergent spiral).  These laws are provided so the
+benchmark comparing algorithm families (experiment E8) can exercise both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .base import RateControl
+
+__all__ = ["LinearIncreaseLinearDecrease", "AdditiveIncreaseAdditiveDecrease"]
+
+
+class LinearIncreaseLinearDecrease(RateControl):
+    """Constant-slope increase below the target and constant-slope decrease above.
+
+        dλ/dt =  C0     if q ≤ q̂,
+        dλ/dt = −D0     if q > q̂.
+
+    Because the decrease does not depend on ``λ`` the phase-plane dynamics
+    have no state-dependent damping; trajectories are parabolic arcs in both
+    half planes and the undelayed system orbits rather than spirals inwards,
+    which is exactly the qualitative difference the paper points out.
+    """
+
+    def __init__(self, c0: float, d0: float, q_target: float):
+        if c0 <= 0.0:
+            raise ConfigurationError(f"c0 must be positive, got {c0}")
+        if d0 <= 0.0:
+            raise ConfigurationError(f"d0 must be positive, got {d0}")
+        if q_target < 0.0:
+            raise ConfigurationError(f"q_target must be non-negative, got {q_target}")
+        self.c0 = float(c0)
+        self.d0 = float(d0)
+        self.q_target = float(q_target)
+
+    def drift(self, queue_length, rate):
+        """Return ``dλ/dt``: ``+C0`` below target, ``−D0`` above."""
+        queue_length = np.asarray(queue_length, dtype=float)
+        rate = np.asarray(rate, dtype=float)
+        shape = np.broadcast(queue_length, rate).shape
+        increase = np.full(shape, self.c0)
+        decrease = np.full(shape, -self.d0)
+        result = np.where(queue_length <= self.q_target, increase, decrease)
+        if result.shape == ():
+            return float(result)
+        return result
+
+    def describe(self) -> str:
+        return (f"linear-increase/linear-decrease "
+                f"(C0={self.c0:g}, D0={self.d0:g}, q_target={self.q_target:g})")
+
+
+class AdditiveIncreaseAdditiveDecrease(LinearIncreaseLinearDecrease):
+    """Alias emphasising the additive/additive naming used in later literature.
+
+    Behaviourally identical to :class:`LinearIncreaseLinearDecrease`; kept as
+    a distinct class so registry names and benchmark tables can refer to the
+    AIAD family explicitly.
+    """
+
+    def describe(self) -> str:
+        return (f"additive-increase/additive-decrease "
+                f"(C0={self.c0:g}, D0={self.d0:g}, q_target={self.q_target:g})")

@@ -1,0 +1,100 @@
+"""Multiplicative rate-control variants.
+
+These laws round out the family of feedback controls the paper's generic
+``g(q, λ)`` formulation covers.  They are used by the algorithm-comparison
+benchmark (experiment E8) and by tests that exercise the Fokker-Planck
+solver with drifts that depend on ``λ`` in both half planes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .base import RateControl
+
+__all__ = [
+    "MultiplicativeIncreaseMultiplicativeDecrease",
+    "LinearIncreaseMultiplicativeStepDecrease",
+]
+
+
+class MultiplicativeIncreaseMultiplicativeDecrease(RateControl):
+    """Exponential growth below the target and exponential decay above it.
+
+        dλ/dt =  A λ     if q ≤ q̂,
+        dλ/dt = −B λ     if q > q̂.
+
+    With multiplicative increase the probing is aggressive at high rates,
+    which is known (and reproduced by the characteristic analysis here) to
+    produce larger queue excursions than the JRJ law.
+    """
+
+    def __init__(self, increase_gain: float, decrease_gain: float, q_target: float):
+        if increase_gain <= 0.0:
+            raise ConfigurationError("increase_gain must be positive")
+        if decrease_gain <= 0.0:
+            raise ConfigurationError("decrease_gain must be positive")
+        if q_target < 0.0:
+            raise ConfigurationError("q_target must be non-negative")
+        self.increase_gain = float(increase_gain)
+        self.decrease_gain = float(decrease_gain)
+        self.q_target = float(q_target)
+
+    def drift(self, queue_length, rate):
+        """Return ``dλ/dt`` = ``+A λ`` below target, ``−B λ`` above."""
+        queue_length = np.asarray(queue_length, dtype=float)
+        rate = np.asarray(rate, dtype=float)
+        result = np.where(queue_length <= self.q_target,
+                          self.increase_gain * rate,
+                          -self.decrease_gain * rate)
+        if result.shape == ():
+            return float(result)
+        return result
+
+    def describe(self) -> str:
+        return (f"multiplicative-increase/multiplicative-decrease "
+                f"(A={self.increase_gain:g}, B={self.decrease_gain:g}, "
+                f"q_target={self.q_target:g})")
+
+
+class LinearIncreaseMultiplicativeStepDecrease(RateControl):
+    """Linear increase with a rate-proportional decrease of bounded slope.
+
+        dλ/dt =  C0                          if q ≤ q̂,
+        dλ/dt = −min(C1 λ, max_decrease)     if q > q̂.
+
+    This models implementations that cap how fast the sending rate may be
+    reduced in one control interval; the cap becomes visible as a flattening
+    of the decrease segment of the phase-plane spiral.
+    """
+
+    def __init__(self, c0: float, c1: float, q_target: float,
+                 max_decrease: float):
+        if c0 <= 0.0 or c1 <= 0.0:
+            raise ConfigurationError("c0 and c1 must be positive")
+        if q_target < 0.0:
+            raise ConfigurationError("q_target must be non-negative")
+        if max_decrease <= 0.0:
+            raise ConfigurationError("max_decrease must be positive")
+        self.c0 = float(c0)
+        self.c1 = float(c1)
+        self.q_target = float(q_target)
+        self.max_decrease = float(max_decrease)
+
+    def drift(self, queue_length, rate):
+        """Return the capped-decrease drift described in the class docstring."""
+        queue_length = np.asarray(queue_length, dtype=float)
+        rate = np.asarray(rate, dtype=float)
+        shape = np.broadcast(queue_length, rate).shape
+        increase = np.full(shape, self.c0)
+        decrease = -np.minimum(self.c1 * np.abs(rate), self.max_decrease)
+        result = np.where(queue_length <= self.q_target, increase, decrease)
+        if result.shape == ():
+            return float(result)
+        return result
+
+    def describe(self) -> str:
+        return (f"linear-increase/capped-multiplicative-decrease "
+                f"(C0={self.c0:g}, C1={self.c1:g}, cap={self.max_decrease:g}, "
+                f"q_target={self.q_target:g})")

@@ -1,0 +1,98 @@
+"""Window-based congestion control algorithms (Equation 1 of the paper).
+
+These are the discrete, per-acknowledgement algorithms whose rate analogue
+the paper analyses.  They drive the window-based sources of the
+discrete-event simulator (:mod:`repro.queueing.source`), reproducing the
+measurement setting of Jacobson [Jac 88] and the simulation setting of
+Zhang [Zha 89] that the paper's findings explain.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ConfigurationError
+from .base import WindowControl
+
+__all__ = ["JacobsonWindow", "DECbitWindow"]
+
+
+class JacobsonWindow(WindowControl):
+    """Jacobson-style congestion avoidance with multiplicative decrease.
+
+    In congestion avoidance the window grows by ``increase / window`` per
+    acknowledgement (approximately one packet per round trip); on a
+    congestion indication (packet loss for the implicit-feedback TCP case)
+    the window is multiplied by ``decrease_factor``.  An optional slow-start
+    phase doubles the window per round trip until ``slow_start_threshold``.
+    """
+
+    def __init__(self, increase: float = 1.0, decrease_factor: float = 0.5,
+                 slow_start_threshold: float = 0.0,
+                 max_window: float = float("inf")):
+        if increase <= 0.0:
+            raise ConfigurationError("increase must be positive")
+        if not 0.0 < decrease_factor < 1.0:
+            raise ConfigurationError("decrease_factor must lie in (0, 1)")
+        if slow_start_threshold < 0.0:
+            raise ConfigurationError("slow_start_threshold must be non-negative")
+        if max_window <= 0.0:
+            raise ConfigurationError("max_window must be positive")
+        self.increase = float(increase)
+        self.decrease_factor = float(decrease_factor)
+        self.slow_start_threshold = float(slow_start_threshold)
+        self.max_window = float(max_window)
+
+    def on_ack(self, window: float) -> float:
+        """Grow the window: slow start below the threshold, else AIMD increase."""
+        if window < self.slow_start_threshold:
+            new_window = window + self.increase
+        else:
+            new_window = window + self.increase / max(window, self.minimum_window)
+        return min(new_window, self.max_window)
+
+    def on_congestion(self, window: float) -> float:
+        """Multiplicatively shrink the window (never below one packet)."""
+        return max(self.minimum_window, window * self.decrease_factor)
+
+    def describe(self) -> str:
+        """One-line description for reports."""
+        return (f"Jacobson window (increase={self.increase:g}, "
+                f"decrease_factor={self.decrease_factor:g})")
+
+
+class DECbitWindow(WindowControl):
+    """Ramakrishnan-Jain DECbit window adjustment.
+
+    The DECbit scheme increases the window additively by ``increase`` once
+    per window of acknowledgements when fewer than half of them carried the
+    congestion-indication bit, and otherwise decreases it multiplicatively
+    by ``decrease_factor`` (0.875 in the original proposal).  Here the
+    per-window vote is folded into the two callbacks: the simulator invokes
+    :meth:`on_congestion` when the majority of the last window's bits were
+    set and :meth:`on_ack` otherwise, once per window's worth of
+    acknowledgements.
+    """
+
+    def __init__(self, increase: float = 1.0, decrease_factor: float = 0.875,
+                 max_window: float = float("inf")):
+        if increase <= 0.0:
+            raise ConfigurationError("increase must be positive")
+        if not 0.0 < decrease_factor < 1.0:
+            raise ConfigurationError("decrease_factor must lie in (0, 1)")
+        if max_window <= 0.0:
+            raise ConfigurationError("max_window must be positive")
+        self.increase = float(increase)
+        self.decrease_factor = float(decrease_factor)
+        self.max_window = float(max_window)
+
+    def on_ack(self, window: float) -> float:
+        """Additive increase of the window by one increase unit."""
+        return min(window + self.increase, self.max_window)
+
+    def on_congestion(self, window: float) -> float:
+        """Multiplicative decrease by the DECbit factor (default 0.875)."""
+        return max(self.minimum_window, window * self.decrease_factor)
+
+    def describe(self) -> str:
+        """One-line description for reports."""
+        return (f"DECbit window (increase={self.increase:g}, "
+                f"decrease_factor={self.decrease_factor:g})")

@@ -1,0 +1,53 @@
+"""Fokker-Planck machinery for the controlled queue (the paper's contribution).
+
+The joint density ``f(t, q, ν)`` of queue length and queue growth rate obeys
+Equation 14 of the paper,
+
+    f_t + ν f_q + (g f)_ν = (σ²/2) f_qq,
+
+with ``g(q, λ)`` the rate-control law and ``ν = λ − μ``.  The solver in
+:mod:`repro.core.solver` discretises this on the phase grid of
+:class:`repro.numerics.PhaseGrid2D` with operator splitting: a conservative
+upwind advection step in ``q`` (velocity ``ν``), a conservative upwind
+advection step in ``ν`` (velocity ``g``), and a Crank-Nicolson diffusion
+step in ``q``.  Reflecting boundaries keep the probability mass at one.
+
+The reduced (σ = 0) hyperbolic system can alternatively be solved along its
+characteristics, reproducing the paper's Section 5 analysis directly
+(:mod:`repro.core.reduced`).
+"""
+
+from .advection import upwind_advect_q, upwind_advect_v, cfl_time_step
+from .boundary import BoundaryConditions
+from .diffusion import crank_nicolson_diffuse_q
+from .initial import (
+    delta_initial_density,
+    gaussian_initial_density,
+    uniform_initial_density,
+)
+from .moments import DensityMoments, compute_moments, marginal_q, marginal_v, tail_probability
+from .reduced import ReducedSystemSolver
+from .solver import FokkerPlanckSolver, FokkerPlanckResult, DensitySnapshot
+from .steady_state import estimate_steady_state, relaxation_time
+
+__all__ = [
+    "upwind_advect_q",
+    "upwind_advect_v",
+    "cfl_time_step",
+    "BoundaryConditions",
+    "crank_nicolson_diffuse_q",
+    "delta_initial_density",
+    "gaussian_initial_density",
+    "uniform_initial_density",
+    "DensityMoments",
+    "compute_moments",
+    "marginal_q",
+    "marginal_v",
+    "tail_probability",
+    "ReducedSystemSolver",
+    "FokkerPlanckSolver",
+    "FokkerPlanckResult",
+    "DensitySnapshot",
+    "estimate_steady_state",
+    "relaxation_time",
+]

@@ -1,0 +1,60 @@
+"""Boundary-condition policy for the Fokker-Planck phase grid.
+
+The paper's model has one hard physical boundary -- the queue length cannot
+be negative -- expressed through the convention ``ν(t) = 0`` whenever
+``Q(t) = 0`` and ``λ(t) < μ``.  On the discretised phase plane this becomes a
+reflecting boundary at ``q = 0``.  The remaining three edges of the grid are
+artificial truncations of an unbounded domain; for them the solver can
+either reflect (conserving mass exactly, the default) or absorb (useful when
+one wants the mass leaving through ``q = q_max`` to be interpreted as a
+buffer-overflow probability).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..numerics.grids import PhaseGrid2D
+
+__all__ = ["BoundaryConditions"]
+
+
+@dataclass(frozen=True)
+class BoundaryConditions:
+    """Selects how each edge of the phase grid treats outgoing mass.
+
+    Attributes
+    ----------
+    reflect_q_zero:
+        Reflect mass at ``q = 0`` (the physical boundary; should normally
+        stay ``True``).
+    absorb_q_max:
+        When ``True``, mass advected past ``q = q_max`` is removed from the
+        system and accumulated in :attr:`FokkerPlanckSolver.absorbed_mass`,
+        modelling a finite buffer of that size.  When ``False`` the edge is
+        reflecting.
+    """
+
+    reflect_q_zero: bool = True
+    absorb_q_max: bool = False
+
+    def apply_post_step(self, density: np.ndarray, grid: PhaseGrid2D
+                        ) -> tuple[np.ndarray, float]:
+        """Post-process *density* after a full time step.
+
+        Returns the (possibly modified) density and the amount of
+        probability mass absorbed during this step (zero unless
+        ``absorb_q_max`` is set, in which case the mass sitting in the last
+        queue cell with positive growth rate is removed, approximating
+        packets lost to a full buffer).
+        """
+        absorbed = 0.0
+        if self.absorb_q_max:
+            positive_growth = grid.v_centers > 0.0
+            cell_mass = density[-1, positive_growth] * grid.cell_area
+            absorbed = float(np.sum(cell_mass))
+            density = density.copy()
+            density[-1, positive_growth] = 0.0
+        return density, absorbed

@@ -1,0 +1,124 @@
+"""The reduced (σ = 0) hyperbolic system solved along its characteristics.
+
+Section 5 of the paper suppresses the diffusion term of Equation 14 and
+studies the resulting hyperbolic PDE through its characteristics, which are
+the curves satisfying
+
+    dq/dt = λ − μ,        dλ/dt = g(q, λ)                    (Equation 16)
+
+A delta-function initial density stays a delta under the reduced equation
+and simply rides along the characteristic through its starting point, so
+solving the reduced PDE for such data is the same as integrating the
+characteristic ODE -- exactly the argument the paper uses to analyse
+stability.  :class:`ReducedSystemSolver` packages this, adding the physical
+constraints ``q ≥ 0`` and ``λ ≥ 0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import SystemParameters
+from ..control.base import RateControl
+from ..numerics.ode import ODEResult, integrate_fixed
+
+__all__ = ["ReducedSystemSolver", "ReducedTrajectory"]
+
+
+@dataclass
+class ReducedTrajectory:
+    """Characteristic trajectory ``(q(t), λ(t))`` of the reduced system.
+
+    Attributes
+    ----------
+    times:
+        Sample times.
+    queue:
+        Queue length along the characteristic.
+    rate:
+        Arrival rate along the characteristic.
+    """
+
+    times: np.ndarray
+    queue: np.ndarray
+    rate: np.ndarray
+
+    @property
+    def growth_rate(self) -> np.ndarray:
+        """Queue growth rate ``ν(t) = λ(t) − μ`` is not stored directly;
+        use :meth:`growth_rate_for` with the service rate."""
+        raise AttributeError(
+            "growth_rate requires the service rate; call growth_rate_for(mu)")
+
+    def growth_rate_for(self, mu: float) -> np.ndarray:
+        """Return ``ν(t) = λ(t) − μ``."""
+        return self.rate - mu
+
+    @property
+    def final_queue(self) -> float:
+        """Queue length at the end of the trajectory."""
+        return float(self.queue[-1])
+
+    @property
+    def final_rate(self) -> float:
+        """Arrival rate at the end of the trajectory."""
+        return float(self.rate[-1])
+
+    @classmethod
+    def from_ode_result(cls, result: ODEResult) -> "ReducedTrajectory":
+        """Build a trajectory from an :class:`ODEResult` with state ``(q, λ)``."""
+        return cls(times=result.times, queue=result.states[:, 0],
+                   rate=result.states[:, 1])
+
+
+class ReducedSystemSolver:
+    """Integrates the characteristic system of the reduced (σ = 0) equation.
+
+    Parameters
+    ----------
+    control:
+        The rate-control law ``g(q, λ)``.
+    params:
+        System parameters (only ``mu`` is used here; the control law already
+        carries its own constants).
+    """
+
+    def __init__(self, control: RateControl, params: SystemParameters):
+        self.control = control
+        self.params = params
+
+    def _rhs(self, _t: float, state: np.ndarray) -> np.ndarray:
+        q, lam = state
+        # The queue cannot drain below zero: when empty and under-loaded the
+        # growth rate is pinned at zero (the paper's convention for ν).
+        dq = lam - self.params.mu
+        if q <= 0.0 and dq < 0.0:
+            dq = 0.0
+        dlam = self.control.drift(q, lam)
+        return np.array([dq, dlam])
+
+    @staticmethod
+    def _project(state: np.ndarray) -> np.ndarray:
+        return np.array([max(state[0], 0.0), max(state[1], 0.0)])
+
+    def solve(self, q0: float, rate0: float, t_end: float,
+              dt: float = 0.05) -> ReducedTrajectory:
+        """Integrate the characteristic from ``(q0, rate0)`` until ``t_end``."""
+        result = integrate_fixed(self._rhs, [q0, rate0], t_end=t_end, dt=dt,
+                                 projection=self._project)
+        return ReducedTrajectory.from_ode_result(result)
+
+    def solve_ensemble(self, initial_points: np.ndarray, t_end: float,
+                       dt: float = 0.05) -> list[ReducedTrajectory]:
+        """Integrate one characteristic per row of ``initial_points``.
+
+        Each row is ``(q0, rate0)``.  Under the reduced equation an initial
+        density supported on these points evolves by transporting each point
+        along its own characteristic, so the ensemble of end points samples
+        the evolved density.
+        """
+        initial_points = np.asarray(initial_points, dtype=float)
+        return [self.solve(float(q0), float(r0), t_end=t_end, dt=dt)
+                for q0, r0 in initial_points]

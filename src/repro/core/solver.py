@@ -1,0 +1,237 @@
+"""High-level Fokker-Planck solver for Equation 14.
+
+:class:`FokkerPlanckSolver` time-integrates the joint density ``f(t, q, ν)``
+of queue length and queue growth rate under
+
+    f_t + ν f_q + (g f)_ν = (σ²/2) f_qq
+
+using operator splitting per step:
+
+1. upwind advection along ``q`` with velocity ``ν`` (explicit, CFL-limited),
+2. upwind advection along ``ν`` with velocity ``g(q, λ)`` (explicit,
+   CFL-limited),
+3. Crank-Nicolson diffusion along ``q`` with diffusivity ``σ²/2``
+   (implicit, unconditionally stable).
+
+The solver automatically sub-cycles the requested output step so the
+explicit sub-steps respect the CFL condition, records snapshots of the full
+density plus its moments, and tracks the probability mass absorbed at the
+``q = q_max`` boundary when a finite buffer is modelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..config import GridParameters, SystemParameters, TimeParameters
+from ..control.base import RateControl
+from ..exceptions import StabilityError
+from ..numerics.grids import PhaseGrid2D
+from .advection import cfl_time_step, upwind_advect_q, upwind_advect_v
+from .boundary import BoundaryConditions
+from .diffusion import crank_nicolson_diffuse_q
+from .initial import gaussian_initial_density
+from .moments import DensityMoments, compute_moments, marginal_q, tail_probability
+
+__all__ = ["FokkerPlanckSolver", "FokkerPlanckResult", "DensitySnapshot"]
+
+
+@dataclass
+class DensitySnapshot:
+    """The joint density and its moments at one output time."""
+
+    time: float
+    density: np.ndarray
+    moments: DensityMoments
+
+
+@dataclass
+class FokkerPlanckResult:
+    """Full output of a Fokker-Planck integration.
+
+    Attributes
+    ----------
+    grid:
+        The phase grid the densities live on.
+    snapshots:
+        Density snapshots at the requested output interval (always includes
+        the initial and the final time).
+    absorbed_mass:
+        Total probability mass removed at the ``q = q_max`` boundary (zero
+        unless a finite buffer was modelled).
+    """
+
+    grid: PhaseGrid2D
+    snapshots: List[DensitySnapshot] = field(default_factory=list)
+    absorbed_mass: float = 0.0
+
+    @property
+    def times(self) -> np.ndarray:
+        """Array of snapshot times."""
+        return np.asarray([snap.time for snap in self.snapshots])
+
+    @property
+    def mean_queue(self) -> np.ndarray:
+        """Mean queue length at every snapshot."""
+        return np.asarray([snap.moments.mean_q for snap in self.snapshots])
+
+    @property
+    def std_queue(self) -> np.ndarray:
+        """Queue-length standard deviation at every snapshot."""
+        return np.asarray([snap.moments.std_q for snap in self.snapshots])
+
+    @property
+    def mean_growth_rate(self) -> np.ndarray:
+        """Mean queue growth rate ``E[ν]`` at every snapshot."""
+        return np.asarray([snap.moments.mean_v for snap in self.snapshots])
+
+    def mean_rate(self, mu: float) -> np.ndarray:
+        """Mean arrival rate ``E[λ] = E[ν] + μ`` at every snapshot."""
+        return self.mean_growth_rate + mu
+
+    @property
+    def final_density(self) -> np.ndarray:
+        """The joint density at the final snapshot."""
+        return self.snapshots[-1].density
+
+    @property
+    def final_moments(self) -> DensityMoments:
+        """Moments at the final snapshot."""
+        return self.snapshots[-1].moments
+
+    def final_marginal_q(self) -> np.ndarray:
+        """Queue-length marginal density at the final time."""
+        return marginal_q(self.final_density, self.grid)
+
+    def overflow_probability(self, buffer_size: float) -> float:
+        """``P(Q > buffer_size)`` at the final time."""
+        return tail_probability(self.final_density, self.grid, buffer_size)
+
+
+class FokkerPlanckSolver:
+    """Operator-splitting integrator for the controlled-queue Fokker-Planck PDE.
+
+    Parameters
+    ----------
+    params:
+        Physical system parameters (service rate, σ, ...).
+    control:
+        Rate-control law supplying the drift ``g(q, λ)``.
+    grid_params:
+        Phase-plane discretisation.
+    boundary:
+        Boundary-condition policy (defaults to all-reflecting).
+    delayed_queue_provider:
+        Optional callable ``t → q_delayed`` giving the queue value the
+        controller *sees* at time ``t``.  When supplied, the ν-drift is
+        evaluated at that (scalar) delayed queue value for the whole grid
+        instead of at each cell's own ``q``; this is the quasi-deterministic
+        delayed-feedback approximation used in Section 7 experiments (see
+        :mod:`repro.delay.fokker_planck_delay` for the driver that builds
+        the provider self-consistently).
+    """
+
+    def __init__(self, params: SystemParameters, control: RateControl,
+                 grid_params: Optional[GridParameters] = None,
+                 boundary: Optional[BoundaryConditions] = None,
+                 delayed_queue_provider: Optional[Callable[[float], float]] = None):
+        self.params = params
+        self.control = control
+        self.grid_params = grid_params if grid_params is not None else GridParameters()
+        self.boundary = boundary if boundary is not None else BoundaryConditions()
+        self.delayed_queue_provider = delayed_queue_provider
+        self.grid = PhaseGrid2D.from_bounds(
+            q_max=self.grid_params.q_max, nq=self.grid_params.nq,
+            v_min=self.grid_params.v_min, v_max=self.grid_params.v_max,
+            nv=self.grid_params.nv)
+        # Pre-compute the (static) drift field for the undelayed case.
+        q_mesh, v_mesh = self.grid.meshgrid()
+        self._q_mesh = q_mesh
+        self._v_mesh = v_mesh
+        self._static_drift = np.asarray(
+            control.drift_in_growth_coordinates(q_mesh, v_mesh, params.mu),
+            dtype=float)
+
+    def default_initial_density(self, q0: float, rate0: float) -> np.ndarray:
+        """A narrow Gaussian around the starting point ``(q0, λ0)``.
+
+        The widths are tied to the grid spacing so the initial condition is
+        always resolvable.
+        """
+        return gaussian_initial_density(
+            self.grid, q0, rate0 - self.params.mu,
+            q_std=max(1.5 * self.grid.dq, 0.5),
+            v_std=max(1.5 * self.grid.dv, 0.02))
+
+    def _drift_field(self, time: float) -> np.ndarray:
+        if self.delayed_queue_provider is None:
+            return self._static_drift
+        delayed_queue = float(self.delayed_queue_provider(time))
+        return np.asarray(
+            self.control.drift_in_growth_coordinates(
+                np.full_like(self._q_mesh, delayed_queue), self._v_mesh,
+                self.params.mu),
+            dtype=float)
+
+    def solve(self, initial_density: np.ndarray,
+              time_params: Optional[TimeParameters] = None) -> FokkerPlanckResult:
+        """Integrate the PDE from *initial_density* over the configured horizon.
+
+        The output step is ``time_params.dt``; each output step is internally
+        sub-cycled so the explicit advection sub-steps respect the CFL limit
+        ``time_params.cfl``.
+        """
+        time_params = time_params if time_params is not None else TimeParameters()
+        density = np.asarray(initial_density, dtype=float).copy()
+        if density.shape != self.grid.shape:
+            raise StabilityError(
+                f"initial density shape {density.shape} does not match grid "
+                f"{self.grid.shape}")
+        density = self.grid.normalize(np.maximum(density, 0.0))
+
+        result = FokkerPlanckResult(grid=self.grid)
+        result.snapshots.append(DensitySnapshot(
+            time=0.0, density=density.copy(),
+            moments=compute_moments(density, self.grid)))
+
+        t = 0.0
+        absorbed_total = 0.0
+        output_dt = time_params.dt
+        steps_between_snapshots = time_params.snapshot_every
+        n_outputs = time_params.n_steps
+
+        for output_index in range(1, n_outputs + 1):
+            target_time = min(output_index * output_dt, time_params.t_end)
+            while t < target_time - 1e-12:
+                drift = self._drift_field(t)
+                dt = cfl_time_step(self.grid, drift, time_params.cfl,
+                                   max_dt=target_time - t)
+                density = upwind_advect_q(density, self.grid, dt,
+                                          reflect_at_zero=self.boundary.reflect_q_zero)
+                density = upwind_advect_v(density, self.grid, drift, dt)
+                density = crank_nicolson_diffuse_q(density, self.grid,
+                                                   self.params.sigma, dt)
+                density, absorbed = self.boundary.apply_post_step(density, self.grid)
+                absorbed_total += absorbed
+                t += dt
+                if not np.all(np.isfinite(density)):
+                    raise StabilityError(
+                        f"Fokker-Planck density became non-finite at t={t:.4g}")
+
+            if (output_index % steps_between_snapshots == 0
+                    or output_index == n_outputs):
+                result.snapshots.append(DensitySnapshot(
+                    time=t, density=density.copy(),
+                    moments=compute_moments(density, self.grid)))
+
+        result.absorbed_mass = absorbed_total
+        return result
+
+    def solve_from_point(self, q0: float, rate0: float,
+                         time_params: Optional[TimeParameters] = None
+                         ) -> FokkerPlanckResult:
+        """Convenience wrapper: start from the default Gaussian around a point."""
+        return self.solve(self.default_initial_density(q0, rate0), time_params)

@@ -1,0 +1,128 @@
+"""Fokker-Planck solution under delayed feedback.
+
+Extending Equation 14 to delayed feedback exactly would require the density
+over whole queue-length *histories*; the paper (and the later literature it
+seeded) instead works with the observation that the drift of the rate at
+time ``t`` is driven by the queue state at ``t − τ``.  The tractable
+approximation implemented here closes the hierarchy at first order: the
+drift field used by the ν-advection at time ``t`` is the control law
+evaluated at the *mean* queue length the solution had at time ``t − τ``,
+
+    g_eff(t, λ) = g( E[Q(t − τ)], λ ).
+
+The mean-queue history is built up self-consistently as the integration
+proceeds (for ``t < τ`` the initial mean is used).  The approximation keeps
+the variability of the queue (the diffusion term still acts on the full
+density) while reproducing the delay-induced oscillation of the mean --
+which is the Section 7 phenomenon of interest.  Its fidelity is checked
+against the Langevin Monte-Carlo ensemble with per-particle delay in the
+integration tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..config import GridParameters, SystemParameters, TimeParameters
+from ..control.base import RateControl
+from ..core.boundary import BoundaryConditions
+from ..core.solver import FokkerPlanckResult, FokkerPlanckSolver
+from ..numerics.interpolate import linear_interpolate
+
+__all__ = ["DelayedFokkerPlanckSolver"]
+
+
+class _MeanQueueHistory:
+    """Self-consistent history of the mean queue length used for the delayed drift."""
+
+    def __init__(self, initial_mean: float, delay: float):
+        self._times = [0.0]
+        self._means = [float(initial_mean)]
+        self._delay = float(delay)
+
+    def record(self, time: float, mean_queue: float) -> None:
+        """Append the mean queue observed at *time*."""
+        if time > self._times[-1]:
+            self._times.append(float(time))
+            self._means.append(float(mean_queue))
+
+    def delayed_mean(self, time: float) -> float:
+        """Mean queue the controller sees at *time* (i.e. the mean at ``t − τ``)."""
+        lookup_time = time - self._delay
+        return linear_interpolate(lookup_time, np.asarray(self._times),
+                                  np.asarray(self._means))
+
+
+class DelayedFokkerPlanckSolver:
+    """Fokker-Planck solver whose drift uses delayed mean-queue feedback.
+
+    Parameters
+    ----------
+    params, control, grid_params, boundary:
+        As for :class:`repro.core.solver.FokkerPlanckSolver`.
+    delay:
+        Feedback delay ``τ ≥ 0``.  Zero recovers the undelayed solver
+        exactly (the history lookup then always returns the current mean,
+        but the drift is still evaluated at a single scalar queue value; use
+        the plain solver when no delay is wanted).
+    """
+
+    def __init__(self, params: SystemParameters, control: RateControl,
+                 delay: float,
+                 grid_params: Optional[GridParameters] = None,
+                 boundary: Optional[BoundaryConditions] = None):
+        if delay < 0.0:
+            raise ValueError("delay must be non-negative")
+        self.params = params
+        self.control = control
+        self.delay = float(delay)
+        self.grid_params = grid_params
+        self.boundary = boundary
+
+    def solve_from_point(self, q0: float, rate0: float,
+                         time_params: Optional[TimeParameters] = None
+                         ) -> FokkerPlanckResult:
+        """Integrate the delayed-drift FP equation from a point initial condition.
+
+        The integration proceeds in short segments of length equal to the
+        snapshot interval; after each segment the mean queue is appended to
+        the history so that later segments see a consistently delayed
+        feedback signal.  This is the PDE analogue of the method of steps.
+        """
+        time_params = time_params if time_params is not None else TimeParameters()
+        history = _MeanQueueHistory(initial_mean=q0, delay=self.delay)
+
+        solver = FokkerPlanckSolver(
+            self.params, self.control, grid_params=self.grid_params,
+            boundary=self.boundary,
+            delayed_queue_provider=history.delayed_mean)
+
+        density = solver.default_initial_density(q0, rate0)
+
+        # Segment length: one snapshot interval of the requested schedule.
+        segment = time_params.dt * time_params.snapshot_every
+        n_segments = max(1, int(round(time_params.t_end / segment)))
+
+        combined = FokkerPlanckResult(grid=solver.grid)
+        current_time = 0.0
+        for segment_index in range(n_segments):
+            segment_params = TimeParameters(
+                t_end=segment, dt=time_params.dt, cfl=time_params.cfl,
+                snapshot_every=time_params.snapshot_every)
+            # Shift the provider so that inside the segment absolute time is
+            # current_time + local time.
+            offset = current_time
+            solver.delayed_queue_provider = (
+                lambda local_t, _offset=offset: history.delayed_mean(_offset + local_t))
+            partial = solver.solve(density, segment_params)
+            density = partial.final_density.copy()
+            for snapshot in partial.snapshots[1:] if segment_index else partial.snapshots:
+                snapshot.time += current_time
+                combined.snapshots.append(snapshot)
+                history.record(snapshot.time, snapshot.moments.mean_q)
+            combined.absorbed_mass += partial.absorbed_mass
+            current_time += segment
+
+        return combined

@@ -1,0 +1,124 @@
+"""Unfairness under heterogeneous feedback delays (Section 7).
+
+When two (or more) sources share the bottleneck but receive their feedback
+after *different* delays -- the long-haul connection versus the short one --
+the algorithm allocates them unequal throughput: the source with the longer
+feedback path reacts later to both congestion onset and congestion relief
+and ends up with the smaller share.  This is the mechanism behind the
+unfairness observed in Jacobson's measurements and Zhang's simulations that
+the paper identifies.
+
+:func:`heterogeneous_delay_experiment` runs the coupled multi-source DDE for
+a given vector of delays and reports per-source throughput, shares and the
+Jain index; :func:`delay_ratio_sweep` sweeps the delay of the "long" source
+while holding the "short" one fixed, producing the throughput-ratio series
+for experiment E7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..config import SourceParameters, SystemParameters
+from ..multisource.fairness import jain_fairness_index
+from ..multisource.model import MultiSourceModel, MultiSourceTrajectory
+
+__all__ = [
+    "HeterogeneousDelayResult",
+    "heterogeneous_delay_experiment",
+    "delay_ratio_sweep",
+]
+
+
+@dataclass
+class HeterogeneousDelayResult:
+    """Per-source outcome of one heterogeneous-delay run.
+
+    Attributes
+    ----------
+    delays:
+        Feedback delay of each source.
+    throughputs:
+        Time-average rate achieved by each source.
+    shares:
+        Normalised shares (throughputs divided by their sum).
+    jain_index:
+        Jain fairness index of the throughputs.
+    trajectory:
+        The full multi-source trajectory (kept for oscillation inspection).
+    """
+
+    delays: np.ndarray
+    throughputs: np.ndarray
+    shares: np.ndarray
+    jain_index: float
+    trajectory: MultiSourceTrajectory
+
+    @property
+    def throughput_ratio_long_to_short(self) -> float:
+        """Throughput of the longest-delay source over the shortest-delay one.
+
+        A value below one means the long-delay source is disadvantaged --
+        the paper's unfairness claim.
+        """
+        longest = int(np.argmax(self.delays))
+        shortest = int(np.argmin(self.delays))
+        short_throughput = self.throughputs[shortest]
+        if short_throughput <= 0.0:
+            return float("nan")
+        return float(self.throughputs[longest] / short_throughput)
+
+
+def heterogeneous_delay_experiment(params: SystemParameters,
+                                   delays: Sequence[float],
+                                   c0: float = None, c1: float = None,
+                                   q0: float = 0.0, t_end: float = 800.0,
+                                   dt: float = 0.02,
+                                   skip_fraction: float = 0.4
+                                   ) -> HeterogeneousDelayResult:
+    """Run N sources with identical control parameters but different delays.
+
+    All sources use the same ``(C0, C1)`` (defaults taken from *params*), so
+    any throughput difference is attributable purely to the delay
+    difference -- the controlled comparison Section 7 argues from.
+    """
+    c0 = c0 if c0 is not None else params.c0
+    c1 = c1 if c1 is not None else params.c1
+    sources = [
+        SourceParameters(c0=c0, c1=c1, delay=float(delay),
+                         initial_rate=params.mu / (2.0 * len(delays)),
+                         name=f"delay-{delay:g}")
+        for delay in delays
+    ]
+    model = MultiSourceModel(sources, params)
+    trajectory = model.solve(q0=q0, t_end=t_end, dt=dt)
+    throughputs = trajectory.time_average_rates(skip_fraction)
+    total = float(np.sum(throughputs))
+    shares = (throughputs / total if total > 0.0
+              else np.full(len(sources), 1.0 / len(sources)))
+    return HeterogeneousDelayResult(
+        delays=np.asarray(list(delays), dtype=float),
+        throughputs=throughputs,
+        shares=shares,
+        jain_index=jain_fairness_index(throughputs),
+        trajectory=trajectory)
+
+
+def delay_ratio_sweep(params: SystemParameters, short_delay: float,
+                      long_delays: Sequence[float], t_end: float = 800.0,
+                      dt: float = 0.02) -> List[HeterogeneousDelayResult]:
+    """Sweep the long source's delay against a fixed short-delay competitor.
+
+    Returns one :class:`HeterogeneousDelayResult` per entry of
+    *long_delays*; the benchmark prints the throughput ratio and Jain index
+    as a function of the delay ratio.
+    """
+    results: List[HeterogeneousDelayResult] = []
+    for long_delay in long_delays:
+        results.append(heterogeneous_delay_experiment(
+            params, delays=[short_delay, float(long_delay)],
+            t_end=t_end, dt=dt))
+    return results

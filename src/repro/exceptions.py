@@ -1,0 +1,59 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError` so that callers can catch library-specific failures
+without accidentally swallowing programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError):
+    """A parameter object or solver configuration is invalid.
+
+    Raised when user-supplied parameters are inconsistent (for example a
+    negative service rate, a grid with fewer than two points, or a CFL
+    number outside ``(0, 1]``).
+    """
+
+
+class GridError(ConfigurationError):
+    """A numerical grid is malformed (non-monotone, empty, or degenerate)."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative numerical procedure failed to converge.
+
+    Carries the number of iterations performed and the final residual when
+    available so callers can report a meaningful diagnostic.
+    """
+
+    def __init__(self, message: str, iterations: int | None = None,
+                 residual: float | None = None):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class StabilityError(ReproError):
+    """A time step or discretisation violates a stability condition.
+
+    Typically raised when an explicit advection step would violate the CFL
+    condition, or when a solution has become non-finite (NaN/Inf).
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator entered an inconsistent state."""
+
+
+class AnalysisError(ReproError):
+    """A post-processing analysis could not be completed.
+
+    For example, oscillation-period detection on a signal with no peaks, or
+    equilibrium detection on a diverging trajectory.
+    """

@@ -1,0 +1,131 @@
+"""The Bolot-Shankar coupled-ODE fluid model.
+
+Bolot and Shankar [BoSh 90] analyse the Ramakrishnan-Jain algorithm with a
+deterministic fluid model: the queue obeys
+
+    dQ/dt = λ(t) − μ        when Q > 0 or λ > μ, else 0      (Equation 5)
+
+and the arrival rate obeys the control law ``dλ/dt = g(Q, λ)``.  Both
+quantities are treated as deterministic functions of time; the model
+captures the mean behaviour (and, with delay, the oscillations) but has no
+notion of variance -- the gap the paper's Fokker-Planck formulation fills.
+
+The model optionally takes a feedback delay ``τ``: the controller then sees
+``Q(t − τ)`` instead of ``Q(t)``, turning the system into a DDE which is
+integrated by the method of steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import SystemParameters
+from ..control.base import RateControl
+from ..numerics.dde import integrate_dde
+from ..numerics.ode import integrate_fixed
+
+__all__ = ["FluidModel", "FluidTrajectory"]
+
+
+@dataclass
+class FluidTrajectory:
+    """Deterministic ``(Q(t), λ(t))`` trajectory of the fluid model."""
+
+    times: np.ndarray
+    queue: np.ndarray
+    rate: np.ndarray
+    mu: float
+
+    @property
+    def growth_rate(self) -> np.ndarray:
+        """Queue growth rate ``ν(t) = λ(t) − μ``."""
+        return self.rate - self.mu
+
+    @property
+    def final_queue(self) -> float:
+        """Queue length at the end of the run."""
+        return float(self.queue[-1])
+
+    @property
+    def final_rate(self) -> float:
+        """Arrival rate at the end of the run."""
+        return float(self.rate[-1])
+
+    def time_average_queue(self, skip_fraction: float = 0.2) -> float:
+        """Time-averaged queue length over the post-transient part of the run."""
+        start = min(int(skip_fraction * self.times.size), self.times.size - 2)
+        duration = self.times[-1] - self.times[start]
+        if duration <= 0.0:
+            return float(self.queue[-1])
+        return float(np.trapezoid(self.queue[start:], self.times[start:]) / duration)
+
+
+class FluidModel:
+    """Deterministic fluid approximation of the controlled queue.
+
+    Parameters
+    ----------
+    control:
+        Rate-control law ``g(q, λ)``.
+    params:
+        System parameters (``mu`` is the service rate).
+    feedback_delay:
+        Feedback delay ``τ ≥ 0``.  Zero gives the plain coupled-ODE model of
+        Bolot-Shankar; a positive value delays the queue value the
+        controller sees.
+    """
+
+    def __init__(self, control: RateControl, params: SystemParameters,
+                 feedback_delay: float = 0.0):
+        if feedback_delay < 0.0:
+            raise ValueError("feedback_delay must be non-negative")
+        self.control = control
+        self.params = params
+        self.feedback_delay = float(feedback_delay)
+
+    def _queue_drift(self, queue: float, rate: float) -> float:
+        drift = rate - self.params.mu
+        if queue <= 0.0 and drift < 0.0:
+            return 0.0
+        return drift
+
+    @staticmethod
+    def _project(state: np.ndarray) -> np.ndarray:
+        return np.array([max(state[0], 0.0), max(state[1], 0.0)])
+
+    def solve(self, q0: float, rate0: float, t_end: float,
+              dt: float = 0.02) -> FluidTrajectory:
+        """Integrate the fluid model from ``(q0, rate0)`` until ``t_end``."""
+        if self.feedback_delay == 0.0:
+            def rhs(_t: float, state: np.ndarray) -> np.ndarray:
+                q, lam = state
+                return np.array([
+                    self._queue_drift(q, lam),
+                    float(np.asarray(self.control.drift(q, lam))),
+                ])
+
+            result = integrate_fixed(rhs, [q0, rate0], t_end=t_end, dt=dt,
+                                     projection=self._project)
+            return FluidTrajectory(times=result.times,
+                                   queue=result.states[:, 0],
+                                   rate=result.states[:, 1],
+                                   mu=self.params.mu)
+
+        delay = self.feedback_delay
+
+        def delayed_rhs(t: float, state: np.ndarray, history) -> np.ndarray:
+            q, lam = state
+            q_seen = float(history(t - delay)[0])
+            return np.array([
+                self._queue_drift(q, lam),
+                float(np.asarray(self.control.drift(q_seen, lam))),
+            ])
+
+        result = integrate_dde(delayed_rhs, [q0, rate0], t_end=t_end, dt=dt,
+                               projection=self._project)
+        return FluidTrajectory(times=result.times,
+                               queue=result.states[:, 0],
+                               rate=result.states[:, 1],
+                               mu=self.params.mu)

@@ -1,0 +1,98 @@
+"""Side-by-side comparison of the fluid model and the Fokker-Planck model.
+
+The comparison the paper draws (abstract and Section 3) is that the fluid
+approximation tracks only the deterministic mean, while the Fokker-Planck
+model additionally yields the spread of the queue around the mean -- the
+quantity needed for, e.g., buffer-overflow probabilities.  This module runs
+both models on identical parameters and reports (a) how close the mean
+trajectories are and (b) the variance information only the FP model has.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..config import GridParameters, SystemParameters, TimeParameters
+from ..control.base import RateControl
+from ..core.solver import FokkerPlanckResult, FokkerPlanckSolver
+from .bolot_shankar import FluidModel, FluidTrajectory
+
+__all__ = ["FluidFPComparison", "compare_fluid_and_fokker_planck"]
+
+
+@dataclass
+class FluidFPComparison:
+    """Outcome of running the fluid and Fokker-Planck models side by side.
+
+    Attributes
+    ----------
+    fluid:
+        The deterministic fluid trajectory.
+    fokker_planck:
+        The Fokker-Planck result (densities and moments over time).
+    mean_queue_rmse:
+        Root-mean-square difference between the fluid queue and the FP mean
+        queue, evaluated at the FP snapshot times.
+    final_queue_std:
+        Queue standard deviation at the end of the FP run -- the information
+        the fluid model cannot provide (it is identically zero there).
+    overflow_probability:
+        ``P(Q > buffer)`` at the final time for the configured buffer size
+        (``None`` when no buffer size was given).
+    """
+
+    fluid: FluidTrajectory
+    fokker_planck: FokkerPlanckResult
+    mean_queue_rmse: float
+    final_queue_std: float
+    overflow_probability: Optional[float]
+
+
+def compare_fluid_and_fokker_planck(control: RateControl,
+                                    params: SystemParameters,
+                                    q0: float, rate0: float,
+                                    t_end: float = 150.0,
+                                    grid_params: Optional[GridParameters] = None,
+                                    buffer_size: Optional[float] = None
+                                    ) -> FluidFPComparison:
+    """Run both models from the same initial point and compare them.
+
+    Parameters
+    ----------
+    control, params:
+        Control law and system parameters shared by both models.
+    q0, rate0:
+        Common initial queue length and arrival rate.
+    t_end:
+        Horizon for both integrations.
+    grid_params:
+        Optional phase-grid override for the FP solver.
+    buffer_size:
+        When given, also report ``P(Q > buffer_size)`` at the final time.
+    """
+    fluid_model = FluidModel(control, params)
+    fluid = fluid_model.solve(q0=q0, rate0=rate0, t_end=t_end, dt=0.02)
+
+    fp_solver = FokkerPlanckSolver(params, control, grid_params=grid_params)
+    time_params = TimeParameters(t_end=t_end, dt=max(t_end / 200.0, 0.05),
+                                 snapshot_every=1)
+    fp_result = fp_solver.solve_from_point(q0, rate0, time_params)
+
+    fp_times = fp_result.times
+    fp_mean_queue = fp_result.mean_queue
+    fluid_queue_at_fp_times = np.interp(fp_times, fluid.times, fluid.queue)
+    rmse = float(np.sqrt(np.mean((fp_mean_queue - fluid_queue_at_fp_times) ** 2)))
+
+    overflow = None
+    if buffer_size is not None:
+        overflow = fp_result.overflow_probability(buffer_size)
+
+    return FluidFPComparison(
+        fluid=fluid,
+        fokker_planck=fp_result,
+        mean_queue_rmse=rmse,
+        final_queue_std=float(fp_result.std_queue[-1]),
+        overflow_probability=overflow)

@@ -1,0 +1,170 @@
+"""Finite-volume style grids for the Fokker-Planck solver.
+
+Two grid classes are provided:
+
+* :class:`UniformGrid1D` -- a uniform cell-centred grid on an interval.
+* :class:`PhaseGrid2D` -- the tensor product of a queue-length grid
+  ``q ∈ [0, q_max]`` and a growth-rate grid ``ν ∈ [v_min, v_max]`` used to
+  discretise the joint density ``f(t, q, ν)`` of Equation 14.
+
+Densities are stored at cell centres; integrals over the grid therefore use
+the cell areas, which makes conservation statements exact for the
+finite-volume advection schemes in :mod:`repro.core.advection`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from ..exceptions import GridError
+
+__all__ = ["UniformGrid1D", "PhaseGrid2D"]
+
+
+@dataclass(frozen=True)
+class UniformGrid1D:
+    """A uniform, cell-centred grid on ``[lower, upper]`` with ``n`` cells.
+
+    Attributes
+    ----------
+    lower, upper:
+        End points of the interval.
+    n:
+        Number of cells; must be at least 2.
+    """
+
+    lower: float
+    upper: float
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise GridError(f"grid needs at least 2 cells, got {self.n}")
+        if not np.isfinite(self.lower) or not np.isfinite(self.upper):
+            raise GridError("grid bounds must be finite")
+        if self.upper <= self.lower:
+            raise GridError(
+                f"upper bound {self.upper} must exceed lower bound {self.lower}")
+
+    @property
+    def dx(self) -> float:
+        """Cell width."""
+        return (self.upper - self.lower) / self.n
+
+    @property
+    def centers(self) -> np.ndarray:
+        """Cell-centre coordinates, shape ``(n,)``."""
+        return self.lower + (np.arange(self.n) + 0.5) * self.dx
+
+    @property
+    def edges(self) -> np.ndarray:
+        """Cell-edge coordinates, shape ``(n + 1,)``."""
+        return self.lower + np.arange(self.n + 1) * self.dx
+
+    def locate(self, x: float) -> int:
+        """Return the index of the cell containing *x* (clamped to the grid)."""
+        idx = int(np.floor((x - self.lower) / self.dx))
+        return min(max(idx, 0), self.n - 1)
+
+    def contains(self, x: float) -> bool:
+        """Return ``True`` if *x* lies within the grid interval."""
+        return self.lower <= x <= self.upper
+
+    def delta_density(self, x: float) -> np.ndarray:
+        """Return a discrete approximation of a Dirac delta centred at *x*.
+
+        The mass ``1`` is placed in the cell containing *x*, scaled by
+        ``1 / dx`` so that the trapezoid integral of the returned array over
+        the grid is (approximately) one.
+        """
+        density = np.zeros(self.n)
+        density[self.locate(x)] = 1.0 / self.dx
+        return density
+
+
+@dataclass(frozen=True)
+class PhaseGrid2D:
+    """Tensor-product grid over the ``(q, ν)`` phase plane.
+
+    The first axis of every density array indexes the queue dimension and
+    the second axis indexes the growth-rate dimension, i.e. arrays have shape
+    ``(q_grid.n, v_grid.n)``.
+    """
+
+    q_grid: UniformGrid1D
+    v_grid: UniformGrid1D
+
+    @classmethod
+    def from_bounds(cls, q_max: float, nq: int, v_min: float, v_max: float,
+                    nv: int) -> "PhaseGrid2D":
+        """Build a phase grid from the bounds used by :class:`GridParameters`."""
+        return cls(UniformGrid1D(0.0, q_max, nq), UniformGrid1D(v_min, v_max, nv))
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Shape ``(nq, nv)`` of density arrays on this grid."""
+        return (self.q_grid.n, self.v_grid.n)
+
+    @property
+    def dq(self) -> float:
+        """Cell width along the queue axis."""
+        return self.q_grid.dx
+
+    @property
+    def dv(self) -> float:
+        """Cell width along the growth-rate axis."""
+        return self.v_grid.dx
+
+    @property
+    def cell_area(self) -> float:
+        """Area of a single phase-plane cell."""
+        return self.dq * self.dv
+
+    @property
+    def q_centers(self) -> np.ndarray:
+        """Queue-axis cell centres, shape ``(nq,)``."""
+        return self.q_grid.centers
+
+    @property
+    def v_centers(self) -> np.ndarray:
+        """Growth-rate-axis cell centres, shape ``(nv,)``."""
+        return self.v_grid.centers
+
+    def meshgrid(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(Q, V)`` arrays of shape ``(nq, nv)`` with cell centres."""
+        return np.meshgrid(self.q_centers, self.v_centers, indexing="ij")
+
+    def total_mass(self, density: np.ndarray) -> float:
+        """Integral of *density* over the whole phase plane (cell-sum rule)."""
+        self._check_shape(density)
+        return float(np.sum(density) * self.cell_area)
+
+    def normalize(self, density: np.ndarray) -> np.ndarray:
+        """Return *density* rescaled to unit total mass."""
+        mass = self.total_mass(density)
+        if mass <= 0.0:
+            raise GridError("cannot normalise a density with non-positive mass")
+        return density / mass
+
+    def gaussian_density(self, q_mean: float, v_mean: float,
+                         q_std: float, v_std: float) -> np.ndarray:
+        """Return a normalised (truncated) Gaussian density on the grid.
+
+        Used to approximate the initial condition ``f(0, q, ν)`` concentrated
+        near a known starting point ``(Q(0), ν(0))``; a narrow Gaussian is a
+        smooth stand-in for the delta function of the paper's derivation.
+        """
+        if q_std <= 0.0 or v_std <= 0.0:
+            raise GridError("standard deviations must be positive")
+        q, v = self.meshgrid()
+        density = np.exp(-0.5 * ((q - q_mean) / q_std) ** 2
+                         - 0.5 * ((v - v_mean) / v_std) ** 2)
+        return self.normalize(density)
+
+    def _check_shape(self, density: np.ndarray) -> None:
+        if density.shape != self.shape:
+            raise GridError(
+                f"density shape {density.shape} does not match grid {self.shape}")

@@ -1,0 +1,220 @@
+"""Ordinary differential equation integrators.
+
+The characteristic system of Section 5 (``dq/dt = λ − μ``, ``dλ/dt = g``) is
+integrated with the classical fourth-order Runge-Kutta method on a fixed
+step, or with an embedded Runge-Kutta-Fehlberg 4(5) adaptive step for the
+longer fairness runs.  Both return an :class:`ODEResult` that stores the full
+time series so downstream analyses (oscillation detection, convergence
+detection, Poincaré sections) can operate on the trajectory directly.
+
+A small event facility is provided: an ``event`` callable evaluated on the
+state can terminate integration when it changes sign, used for example to
+detect crossings of the ``q = q̂`` switching line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ConvergenceError, StabilityError
+
+__all__ = ["euler_step", "rk4_step", "integrate_fixed", "integrate_adaptive",
+           "ODEResult"]
+
+RHS = Callable[[float, np.ndarray], np.ndarray]
+
+
+@dataclass
+class ODEResult:
+    """Trajectory returned by the ODE integrators.
+
+    Attributes
+    ----------
+    times:
+        Array of sample times, shape ``(n,)``.
+    states:
+        Array of states, shape ``(n, dim)``.
+    event_time:
+        Time at which a terminal event fired, or ``None``.
+    """
+
+    times: np.ndarray
+    states: np.ndarray
+    event_time: Optional[float] = None
+
+    @property
+    def final_state(self) -> np.ndarray:
+        """State at the last recorded time."""
+        return self.states[-1]
+
+    @property
+    def final_time(self) -> float:
+        """Last recorded time."""
+        return float(self.times[-1])
+
+    def component(self, index: int) -> np.ndarray:
+        """Time series of a single state component."""
+        return self.states[:, index]
+
+    def resample(self, times: np.ndarray) -> np.ndarray:
+        """Linearly resample the trajectory at the given *times*."""
+        times = np.asarray(times, dtype=float)
+        resampled = np.empty((times.size, self.states.shape[1]))
+        for j in range(self.states.shape[1]):
+            resampled[:, j] = np.interp(times, self.times, self.states[:, j])
+        return resampled
+
+
+def euler_step(rhs: RHS, t: float, state: np.ndarray, dt: float) -> np.ndarray:
+    """A single forward-Euler step (used mostly in tests as a reference)."""
+    return state + dt * np.asarray(rhs(t, state), dtype=float)
+
+
+def rk4_step(rhs: RHS, t: float, state: np.ndarray, dt: float) -> np.ndarray:
+    """A single classical Runge-Kutta 4 step."""
+    k1 = np.asarray(rhs(t, state), dtype=float)
+    k2 = np.asarray(rhs(t + 0.5 * dt, state + 0.5 * dt * k1), dtype=float)
+    k3 = np.asarray(rhs(t + 0.5 * dt, state + 0.5 * dt * k2), dtype=float)
+    k4 = np.asarray(rhs(t + dt, state + dt * k3), dtype=float)
+    return state + dt / 6.0 * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+
+
+def integrate_fixed(rhs: RHS, initial_state: Sequence[float], t_end: float,
+                    dt: float, t_start: float = 0.0,
+                    projection: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+                    event: Optional[Callable[[float, np.ndarray], float]] = None,
+                    ) -> ODEResult:
+    """Integrate ``dx/dt = rhs(t, x)`` with fixed-step RK4.
+
+    Parameters
+    ----------
+    rhs:
+        Right-hand side function returning ``dx/dt``.
+    initial_state:
+        Initial state vector.
+    t_end, dt, t_start:
+        Integration horizon, step size and start time.
+    projection:
+        Optional callable applied to the state after every step; used to
+        enforce constraints such as ``q ≥ 0`` and ``λ ≥ 0`` for the queue.
+    event:
+        Optional scalar function of ``(t, state)``; integration stops at the
+        first step where its sign changes (the terminal event).
+
+    Raises
+    ------
+    StabilityError
+        If the state becomes non-finite.
+    """
+    if dt <= 0.0:
+        raise ConvergenceError("dt must be positive")
+    if t_end <= t_start:
+        raise ConvergenceError("t_end must exceed t_start")
+
+    state = np.asarray(initial_state, dtype=float).copy()
+    n_steps = int(np.ceil((t_end - t_start) / dt))
+    times: List[float] = [t_start]
+    states: List[np.ndarray] = [state.copy()]
+    event_time: Optional[float] = None
+    previous_event = event(t_start, state) if event is not None else None
+
+    t = t_start
+    for _ in range(n_steps):
+        step = min(dt, t_end - t)
+        state = rk4_step(rhs, t, state, step)
+        if projection is not None:
+            state = projection(state)
+        t += step
+        if not np.all(np.isfinite(state)):
+            raise StabilityError(f"ODE state became non-finite at t={t:.6g}")
+        times.append(t)
+        states.append(state.copy())
+        if event is not None:
+            current_event = event(t, state)
+            if previous_event is not None and previous_event * current_event < 0:
+                event_time = t
+                break
+            previous_event = current_event
+
+    return ODEResult(np.asarray(times), np.asarray(states), event_time)
+
+
+# Coefficients of the Runge-Kutta-Fehlberg 4(5) embedded pair.
+_RKF_A = [
+    [],
+    [1.0 / 4.0],
+    [3.0 / 32.0, 9.0 / 32.0],
+    [1932.0 / 2197.0, -7200.0 / 2197.0, 7296.0 / 2197.0],
+    [439.0 / 216.0, -8.0, 3680.0 / 513.0, -845.0 / 4104.0],
+    [-8.0 / 27.0, 2.0, -3544.0 / 2565.0, 1859.0 / 4104.0, -11.0 / 40.0],
+]
+_RKF_C = [0.0, 1.0 / 4.0, 3.0 / 8.0, 12.0 / 13.0, 1.0, 1.0 / 2.0]
+_RKF_B4 = [25.0 / 216.0, 0.0, 1408.0 / 2565.0, 2197.0 / 4104.0, -1.0 / 5.0, 0.0]
+_RKF_B5 = [16.0 / 135.0, 0.0, 6656.0 / 12825.0, 28561.0 / 56430.0,
+           -9.0 / 50.0, 2.0 / 55.0]
+
+
+def integrate_adaptive(rhs: RHS, initial_state: Sequence[float], t_end: float,
+                       t_start: float = 0.0, rtol: float = 1e-6,
+                       atol: float = 1e-9, initial_dt: float = 1e-2,
+                       max_dt: float = 1.0, min_dt: float = 1e-10,
+                       projection: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+                       max_steps: int = 2_000_000) -> ODEResult:
+    """Integrate with the adaptive Runge-Kutta-Fehlberg 4(5) method.
+
+    The step size is controlled so the estimated local error stays below
+    ``atol + rtol * |state|`` component-wise.
+    """
+    state = np.asarray(initial_state, dtype=float).copy()
+    t = t_start
+    dt = initial_dt
+    times: List[float] = [t]
+    states: List[np.ndarray] = [state.copy()]
+
+    for _ in range(max_steps):
+        if t >= t_end:
+            break
+        dt = min(dt, t_end - t, max_dt)
+        if dt < min_dt:
+            raise ConvergenceError(
+                "adaptive ODE step shrank below the minimum allowed",
+                residual=dt)
+
+        ks = []
+        for stage in range(6):
+            increment = np.zeros_like(state)
+            for j, a in enumerate(_RKF_A[stage]):
+                increment = increment + a * ks[j]
+            ks.append(np.asarray(
+                rhs(t + _RKF_C[stage] * dt, state + dt * increment), dtype=float))
+
+        order4 = state + dt * sum(b * k for b, k in zip(_RKF_B4, ks))
+        order5 = state + dt * sum(b * k for b, k in zip(_RKF_B5, ks))
+        error = np.abs(order5 - order4)
+        scale = atol + rtol * np.maximum(np.abs(state), np.abs(order5))
+        error_ratio = float(np.max(error / scale))
+
+        if error_ratio <= 1.0 or dt <= min_dt * 2.0:
+            state = order5
+            if projection is not None:
+                state = projection(state)
+            t += dt
+            if not np.all(np.isfinite(state)):
+                raise StabilityError(
+                    f"adaptive ODE state became non-finite at t={t:.6g}")
+            times.append(t)
+            states.append(state.copy())
+
+        # Standard safety-factor step-size update.
+        if error_ratio == 0.0:
+            dt *= 2.0
+        else:
+            dt *= min(2.0, max(0.2, 0.9 * error_ratio ** -0.2))
+    else:
+        raise ConvergenceError("adaptive ODE integration exceeded max_steps",
+                               iterations=max_steps)
+
+    return ODEResult(np.asarray(times), np.asarray(states))

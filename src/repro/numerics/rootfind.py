@@ -1,0 +1,74 @@
+"""Scalar root finding used by the equilibrium and share-formula analyses."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..exceptions import ConvergenceError
+
+__all__ = ["bisect", "newton"]
+
+
+def bisect(func: Callable[[float], float], lower: float, upper: float,
+           tolerance: float = 1e-12, max_iterations: int = 200) -> float:
+    """Find a root of *func* in ``[lower, upper]`` by bisection.
+
+    The end points must bracket a sign change.  Converges unconditionally to
+    within *tolerance* of a root.
+    """
+    f_lower = func(lower)
+    f_upper = func(upper)
+    if f_lower == 0.0:
+        return lower
+    if f_upper == 0.0:
+        return upper
+    if f_lower * f_upper > 0.0:
+        raise ConvergenceError(
+            "bisection requires a sign change over the bracket "
+            f"[{lower}, {upper}]")
+
+    for iteration in range(max_iterations):
+        midpoint = 0.5 * (lower + upper)
+        f_mid = func(midpoint)
+        if f_mid == 0.0 or (upper - lower) < tolerance:
+            return midpoint
+        if f_lower * f_mid < 0.0:
+            upper = midpoint
+        else:
+            lower, f_lower = midpoint, f_mid
+    raise ConvergenceError("bisection did not converge",
+                           iterations=max_iterations,
+                           residual=upper - lower)
+
+
+def newton(func: Callable[[float], float], x0: float,
+           derivative: Optional[Callable[[float], float]] = None,
+           tolerance: float = 1e-12, max_iterations: int = 100) -> float:
+    """Newton's method with an optional analytic derivative.
+
+    When *derivative* is omitted a central finite difference is used.  Falls
+    back to halving the step whenever an iterate would leave the finite
+    range or the derivative is numerically zero.
+    """
+    x = float(x0)
+    step_scale = 1e-7
+    for _ in range(max_iterations):
+        fx = func(x)
+        if abs(fx) < tolerance:
+            return x
+        if derivative is not None:
+            dfx = derivative(x)
+        else:
+            h = step_scale * max(1.0, abs(x))
+            dfx = (func(x + h) - func(x - h)) / (2.0 * h)
+        if dfx == 0.0:
+            raise ConvergenceError("Newton iteration hit a zero derivative",
+                                   residual=abs(fx))
+        x_next = x - fx / dfx
+        if not (abs(x_next) < 1e300):
+            raise ConvergenceError("Newton iteration diverged", residual=abs(fx))
+        if abs(x_next - x) < tolerance * max(1.0, abs(x)):
+            return x_next
+        x = x_next
+    raise ConvergenceError("Newton iteration did not converge",
+                           iterations=max_iterations, residual=abs(func(x)))

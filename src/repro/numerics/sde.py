@@ -1,0 +1,155 @@
+"""Stochastic differential equation integrators.
+
+The Langevin analogue of the Fokker-Planck equation (Equation 14) is
+
+    dQ = ν dt + σ dW,      dν = g(Q, λ) dt,
+
+i.e. the diffusion acts on the queue length while the growth rate follows
+the deterministic control law along each random sample path.  The ensemble
+of such particles has exactly the density governed by the FP equation, which
+gives an independent Monte-Carlo check of the PDE solver.
+
+Two schemes are provided: Euler-Maruyama (strong order 0.5, sufficient for
+additive noise) and Milstein, which for state-dependent diffusion adds the
+derivative correction term.  For the additive-noise case used by the paper
+the two coincide; Milstein is included for the general interface and tested
+against known moments of geometric Brownian motion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..exceptions import ConvergenceError
+
+__all__ = ["euler_maruyama", "milstein", "SDEPaths"]
+
+Drift = Callable[[float, np.ndarray], np.ndarray]
+Diffusion = Callable[[float, np.ndarray], np.ndarray]
+
+
+@dataclass
+class SDEPaths:
+    """Monte-Carlo sample paths produced by the SDE integrators.
+
+    Attributes
+    ----------
+    times:
+        Sample times, shape ``(n_times,)``.
+    paths:
+        Sample paths, shape ``(n_times, n_paths, dim)``.
+    """
+
+    times: np.ndarray
+    paths: np.ndarray
+
+    @property
+    def n_paths(self) -> int:
+        """Number of Monte-Carlo particles."""
+        return self.paths.shape[1]
+
+    @property
+    def final_states(self) -> np.ndarray:
+        """States of all particles at the final time, shape ``(n_paths, dim)``."""
+        return self.paths[-1]
+
+    def component(self, index: int) -> np.ndarray:
+        """All sample paths of one component, shape ``(n_times, n_paths)``."""
+        return self.paths[:, :, index]
+
+    def mean(self, index: int) -> np.ndarray:
+        """Ensemble mean of a component as a function of time."""
+        return np.mean(self.paths[:, :, index], axis=1)
+
+    def variance(self, index: int) -> np.ndarray:
+        """Ensemble variance of a component as a function of time."""
+        return np.var(self.paths[:, :, index], axis=1)
+
+
+def _simulate(drift: Drift, diffusion: Diffusion, initial: np.ndarray,
+              t_end: float, dt: float, n_paths: int, rng: np.random.Generator,
+              projection: Optional[Callable[[np.ndarray], np.ndarray]],
+              record_every: int, milstein_correction: bool) -> SDEPaths:
+    if dt <= 0.0:
+        raise ConvergenceError("dt must be positive")
+    if n_paths < 1:
+        raise ConvergenceError("n_paths must be at least 1")
+
+    initial = np.asarray(initial, dtype=float)
+    dim = initial.shape[-1] if initial.ndim > 0 else 1
+    states = np.broadcast_to(initial, (n_paths, dim)).astype(float).copy()
+
+    n_steps = int(np.ceil(t_end / dt))
+    times = [0.0]
+    snapshots = [states.copy()]
+    sqrt_dt = np.sqrt(dt)
+    bump = 1e-7
+
+    t = 0.0
+    for step_index in range(1, n_steps + 1):
+        noise = rng.standard_normal(states.shape) * sqrt_dt
+        drift_term = drift(t, states)
+        diffusion_term = diffusion(t, states)
+        increment = drift_term * dt + diffusion_term * noise
+        if milstein_correction:
+            # Finite-difference estimate of d(diffusion)/dx for the Milstein
+            # term 0.5 * b * b' * (dW^2 - dt), applied component-wise.
+            bumped = diffusion(t, states + bump)
+            derivative = (bumped - diffusion_term) / bump
+            increment = increment + 0.5 * diffusion_term * derivative * (
+                noise ** 2 - dt)
+        states = states + increment
+        if projection is not None:
+            states = projection(states)
+        t += dt
+        if step_index % record_every == 0 or step_index == n_steps:
+            times.append(t)
+            snapshots.append(states.copy())
+
+    return SDEPaths(np.asarray(times), np.asarray(snapshots))
+
+
+def euler_maruyama(drift: Drift, diffusion: Diffusion, initial: np.ndarray,
+                   t_end: float, dt: float, n_paths: int,
+                   rng: Optional[np.random.Generator] = None,
+                   projection: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+                   record_every: int = 1) -> SDEPaths:
+    """Simulate sample paths with the Euler-Maruyama scheme.
+
+    Parameters
+    ----------
+    drift, diffusion:
+        Vectorised callables mapping ``(t, states)`` with *states* of shape
+        ``(n_paths, dim)`` to arrays of the same shape.
+    initial:
+        Initial state (shared by all particles) of shape ``(dim,)``.
+    t_end, dt:
+        Horizon and step size.
+    n_paths:
+        Number of Monte-Carlo particles.
+    rng:
+        Optional :class:`numpy.random.Generator` for reproducibility.
+    projection:
+        Optional constraint projection (e.g. clip the queue at zero).
+    record_every:
+        Record a snapshot every this many steps to bound memory use.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    return _simulate(drift, diffusion, np.asarray(initial, dtype=float), t_end,
+                     dt, n_paths, rng, projection, record_every,
+                     milstein_correction=False)
+
+
+def milstein(drift: Drift, diffusion: Diffusion, initial: np.ndarray,
+             t_end: float, dt: float, n_paths: int,
+             rng: Optional[np.random.Generator] = None,
+             projection: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+             record_every: int = 1) -> SDEPaths:
+    """Simulate sample paths with the Milstein scheme (adds the ``b b'`` term)."""
+    rng = rng if rng is not None else np.random.default_rng()
+    return _simulate(drift, diffusion, np.asarray(initial, dtype=float), t_end,
+                     dt, n_paths, rng, projection, record_every,
+                     milstein_correction=True)

@@ -1,0 +1,149 @@
+"""Streaming and weighted statistics plus empirical density estimation.
+
+The discrete-event simulator and the Monte-Carlo ensembles produce long
+sample streams; :class:`RunningStatistics` (Welford's algorithm) accumulates
+mean/variance without storing the samples, and :class:`WeightedStatistics`
+does the same for time-weighted quantities such as the time-average queue
+length.  :func:`empirical_density` bins samples onto a grid so they can be
+compared directly with a Fokker-Planck marginal.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..exceptions import AnalysisError
+
+__all__ = ["RunningStatistics", "WeightedStatistics", "empirical_density"]
+
+
+class RunningStatistics:
+    """Streaming mean/variance accumulator using Welford's algorithm."""
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._minimum = float("inf")
+        self._maximum = float("-inf")
+
+    def update(self, value: float) -> None:
+        """Add one sample."""
+        value = float(value)
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+        self._minimum = min(self._minimum, value)
+        self._maximum = max(self._maximum, value)
+
+    def update_many(self, values: np.ndarray) -> None:
+        """Add a batch of samples."""
+        for value in np.asarray(values, dtype=float).ravel():
+            self.update(float(value))
+
+    @property
+    def count(self) -> int:
+        """Number of samples seen so far."""
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        return self._mean if self._count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 with fewer than two samples)."""
+        if self._count < 2:
+            return 0.0
+        return self._m2 / (self._count - 1)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        return float(np.sqrt(self.variance))
+
+    @property
+    def minimum(self) -> float:
+        """Smallest sample seen (``inf`` when empty)."""
+        return self._minimum
+
+    @property
+    def maximum(self) -> float:
+        """Largest sample seen (``-inf`` when empty)."""
+        return self._maximum
+
+
+class WeightedStatistics:
+    """Weighted mean/variance accumulator for time-averaged metrics.
+
+    Each sample carries a non-negative weight; for a piecewise-constant
+    signal the natural weight is the duration for which the value held,
+    yielding the time-average and time-variance of the signal.
+    """
+
+    def __init__(self) -> None:
+        self._weight_sum = 0.0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def update(self, value: float, weight: float) -> None:
+        """Add a sample *value* with the given non-negative *weight*."""
+        weight = float(weight)
+        if weight < 0.0:
+            raise AnalysisError("weights must be non-negative")
+        if weight == 0.0:
+            return
+        value = float(value)
+        new_weight_sum = self._weight_sum + weight
+        delta = value - self._mean
+        ratio = weight / new_weight_sum
+        self._mean += delta * ratio
+        self._m2 += weight * delta * (value - self._mean)
+        self._weight_sum = new_weight_sum
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of the weights seen so far."""
+        return self._weight_sum
+
+    @property
+    def mean(self) -> float:
+        """Weighted mean (0.0 when no weight has been accumulated)."""
+        return self._mean if self._weight_sum > 0.0 else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Weighted (population) variance."""
+        if self._weight_sum <= 0.0:
+            return 0.0
+        return self._m2 / self._weight_sum
+
+    @property
+    def std(self) -> float:
+        """Weighted standard deviation."""
+        return float(np.sqrt(self.variance))
+
+
+def empirical_density(samples: np.ndarray, edges: np.ndarray
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+    """Histogram *samples* into bins given by *edges* and normalise to a density.
+
+    Returns ``(centers, density)`` where ``density`` integrates to one over
+    the binned range (samples falling outside the edges are ignored).
+    """
+    samples = np.asarray(samples, dtype=float)
+    edges = np.asarray(edges, dtype=float)
+    if edges.size < 2:
+        raise AnalysisError("need at least two bin edges")
+    counts, _ = np.histogram(samples, bins=edges)
+    widths = np.diff(edges)
+    total = float(np.sum(counts))
+    if total == 0.0:
+        raise AnalysisError("no samples fell inside the histogram range")
+    density = counts / (total * widths)
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    return centers, density

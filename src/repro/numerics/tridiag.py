@@ -1,0 +1,80 @@
+"""Tridiagonal linear solver (Thomas algorithm).
+
+Used by the Crank-Nicolson diffusion step of the Fokker-Planck solver, where
+the implicit operator ``(I - dt/2 * D)`` is tridiagonal along the queue axis.
+A pure-numpy implementation is provided so the solver has no dependency on
+``scipy.linalg.solve_banded`` internals; results are tested against a dense
+solve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConvergenceError
+
+__all__ = ["solve_tridiagonal"]
+
+
+def solve_tridiagonal(lower: np.ndarray, diag: np.ndarray, upper: np.ndarray,
+                      rhs: np.ndarray) -> np.ndarray:
+    """Solve ``A x = rhs`` for a tridiagonal matrix ``A``.
+
+    Parameters
+    ----------
+    lower:
+        Sub-diagonal of length ``n`` (``lower[0]`` is ignored).
+    diag:
+        Main diagonal of length ``n``.
+    upper:
+        Super-diagonal of length ``n`` (``upper[-1]`` is ignored).
+    rhs:
+        Right-hand side.  May be one-dimensional of length ``n`` or
+        two-dimensional of shape ``(n, m)`` to solve ``m`` systems that share
+        the same matrix.
+
+    Returns
+    -------
+    numpy.ndarray
+        Solution with the same shape as *rhs*.
+
+    Raises
+    ------
+    ConvergenceError
+        If a pivot becomes numerically zero (the matrix is singular or badly
+        conditioned for the Thomas algorithm).
+    """
+    lower = np.asarray(lower, dtype=float)
+    diag = np.asarray(diag, dtype=float)
+    upper = np.asarray(upper, dtype=float)
+    rhs = np.asarray(rhs, dtype=float)
+
+    n = diag.shape[0]
+    if lower.shape[0] != n or upper.shape[0] != n:
+        raise ValueError("lower, diag and upper must all have the same length")
+    if rhs.shape[0] != n:
+        raise ValueError("rhs first dimension must match the matrix size")
+
+    one_dimensional = rhs.ndim == 1
+    b = rhs.reshape(n, -1).copy()
+
+    # Forward elimination with scaled pivots.
+    c_prime = np.zeros(n)
+    pivot = diag[0]
+    if abs(pivot) < 1e-300:
+        raise ConvergenceError("tridiagonal solve hit a zero pivot at row 0")
+    c_prime[0] = upper[0] / pivot
+    b[0] /= pivot
+    for i in range(1, n):
+        pivot = diag[i] - lower[i] * c_prime[i - 1]
+        if abs(pivot) < 1e-300:
+            raise ConvergenceError(
+                f"tridiagonal solve hit a zero pivot at row {i}")
+        c_prime[i] = upper[i] / pivot
+        b[i] = (b[i] - lower[i] * b[i - 1]) / pivot
+
+    # Back substitution.
+    for i in range(n - 2, -1, -1):
+        b[i] -= c_prime[i] * b[i + 1]
+
+    return b[:, 0] if one_dimensional else b

@@ -1,0 +1,123 @@
+"""Event and event-queue primitives for the discrete-event simulator.
+
+The simulator is a classic event-driven loop: every future action (a packet
+arriving at the bottleneck, a service completion, an acknowledgement
+reaching a source, a rate-update timer firing) is an :class:`Event` with a
+firing time and a callback, kept in a binary-heap :class:`EventQueue`
+ordered by time.  Ties are broken by insertion order so the simulation is
+fully deterministic for a given random seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..exceptions import SimulationError
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled simulator event.
+
+    Events are ordered by ``(time, sequence)`` where the sequence number is
+    assigned at scheduling time, making the ordering total and deterministic.
+
+    Attributes
+    ----------
+    time:
+        Simulated time at which the event fires.
+    sequence:
+        Monotonically increasing tie-breaker.
+    action:
+        Zero-argument callback executed when the event fires.
+    label:
+        Human-readable label used in error messages and debugging traces.
+    cancelled:
+        Cancelled events stay in the heap but are skipped when popped.
+    """
+
+    time: float
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so it will be skipped when its time comes."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A time-ordered queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._current_time = 0.0
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    @property
+    def current_time(self) -> float:
+        """Time of the most recently popped event (simulation clock)."""
+        return self._current_time
+
+    def schedule(self, time: float, action: Callable[[], None],
+                 label: str = "") -> Event:
+        """Schedule *action* to run at simulated *time* and return the event.
+
+        Scheduling in the past (before the current clock) is an error: it
+        would silently reorder causality.
+        """
+        if time < self._current_time - 1e-12:
+            raise SimulationError(
+                f"cannot schedule event '{label}' at t={time:.6g} before the "
+                f"current time {self._current_time:.6g}")
+        event = Event(time=float(time), sequence=next(self._counter),
+                      action=action, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop_next(self) -> Optional[Event]:
+        """Pop and return the next non-cancelled event, advancing the clock.
+
+        Returns ``None`` when the queue is empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._current_time = event.time
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or ``None`` when empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def run_until(self, t_end: float) -> int:
+        """Fire events in order until the clock passes *t_end*.
+
+        Returns the number of events executed.  Events scheduled exactly at
+        *t_end* are executed.
+        """
+        executed = 0
+        while True:
+            next_time = self.peek_time()
+            if next_time is None or next_time > t_end:
+                break
+            event = self.pop_next()
+            if event is None:
+                break
+            event.action()
+            executed += 1
+        self._current_time = max(self._current_time, t_end)
+        return executed

@@ -1,0 +1,55 @@
+"""Feedback channels: delayed delivery of information back to the sources.
+
+Two kinds of feedback flow back from the bottleneck:
+
+* acknowledgements of served packets (carrying the congestion bit when the
+  bottleneck marked them), used by window-based sources, and
+* queue-length reports sampled periodically, used by rate-based sources
+  (the explicit-feedback formulation the paper's model works in).
+
+Both travel over a :class:`FeedbackChannel`, which simply delivers a payload
+to a callback after a per-channel propagation delay.  Heterogeneous delays
+across sources -- the Section 7 unfairness scenario -- are expressed by
+giving each source its own channel with its own delay.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..exceptions import ConfigurationError
+from .events import EventQueue
+
+__all__ = ["FeedbackChannel"]
+
+
+class FeedbackChannel:
+    """Delivers feedback payloads to a receiver after a fixed propagation delay.
+
+    Parameters
+    ----------
+    event_queue:
+        The simulator's event queue.
+    delay:
+        One-way propagation delay of the feedback path (``≥ 0``).
+    receiver:
+        Callback invoked with the payload when it arrives.
+    """
+
+    def __init__(self, event_queue: EventQueue, delay: float,
+                 receiver: Callable[[object], None]):
+        if delay < 0.0:
+            raise ConfigurationError("feedback delay must be non-negative")
+        self._events = event_queue
+        self.delay = float(delay)
+        self._receiver = receiver
+        self.delivered_count = 0
+
+    def send(self, payload: object) -> None:
+        """Send *payload*; it reaches the receiver ``delay`` time units later."""
+        def deliver() -> None:
+            self.delivered_count += 1
+            self._receiver(payload)
+
+        self._events.schedule(self._events.current_time + self.delay, deliver,
+                              label="feedback delivery")

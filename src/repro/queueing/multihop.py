@@ -1,0 +1,247 @@
+"""Multi-hop discrete-event simulator.
+
+Packets from each window-controlled connection traverse the ordered list of
+nodes of their route, with a propagation delay before each hop, and the
+acknowledgement of a delivered packet returns to the source after the
+route's return-path propagation delay.  Congestion feedback is implicit
+(drop notifications) for Jacobson-style routes and explicit (the congestion
+bit accumulated across the hops) for DECbit routes.
+
+This is the setting of the measurements and simulations the paper cites:
+connections that traverse more hops see their feedback later and adjust
+their windows less often per unit time, so they obtain a poorer share of any
+resource they share with short connections -- exactly the unfairness the
+Fokker-Planck analysis of Section 7 attributes to heterogeneous feedback
+delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..control.window import DECbitWindow, JacobsonWindow
+from ..exceptions import ConfigurationError
+from ..multisource.fairness import jain_fairness_index
+from .events import EventQueue
+from .packet import Packet
+from .queue_node import BottleneckQueue
+from .random_streams import RandomStreams
+from .source import WindowSource
+from .topology import MultiHopConfig, Route
+from .trace import SimulationTrace
+
+__all__ = ["MultiHopSimulator", "MultiHopResult"]
+
+
+@dataclass
+class MultiHopResult:
+    """Traces and per-connection metrics of one multi-hop run.
+
+    Attributes
+    ----------
+    config:
+        The topology/route configuration that produced the run.
+    duration:
+        Simulated time covered.
+    throughputs:
+        Delivered packets per unit time for each route, keyed by route name.
+    hop_counts:
+        Hop count of each route, keyed by route name.
+    node_mean_queue:
+        Time-average queue length of every node.
+    losses:
+        Packets dropped per route.
+    """
+
+    config: MultiHopConfig
+    duration: float
+    throughputs: Dict[str, float]
+    hop_counts: Dict[str, int]
+    node_mean_queue: Dict[str, float]
+    losses: Dict[str, int]
+
+    def fairness_index(self) -> float:
+        """Jain index of the per-route throughputs."""
+        return jain_fairness_index(list(self.throughputs.values()))
+
+    def throughput_by_hop_count(self) -> List[tuple]:
+        """``(hop_count, route_name, throughput)`` sorted by hop count."""
+        rows = [(self.hop_counts[name], name, self.throughputs[name])
+                for name in self.throughputs]
+        return sorted(rows)
+
+    def long_to_short_ratio(self) -> float:
+        """Throughput of the longest route over that of the shortest route."""
+        rows = self.throughput_by_hop_count()
+        shortest = rows[0][2]
+        longest = rows[-1][2]
+        if shortest <= 0.0:
+            return float("nan")
+        return float(longest / shortest)
+
+
+class MultiHopSimulator:
+    """Event-driven simulation of window-controlled connections over a topology."""
+
+    def __init__(self, config: MultiHopConfig):
+        self.config = config
+        self.events = EventQueue()
+        self.streams = RandomStreams(config.seed)
+        # One trace per node for queue lengths; one global trace for
+        # per-connection counters and window series.
+        self.connection_trace = SimulationTrace()
+        self._node_traces: Dict[str, SimulationTrace] = {}
+        self._nodes: Dict[str, BottleneckQueue] = {}
+        self._routes: List[Route] = list(config.routes)
+        self._sources: List[WindowSource] = []
+        self._route_of_source: Dict[int, Route] = {}
+        self._next_hop_index: Dict[int, Dict[int, int]] = {}
+
+        self._build_nodes()
+        self._build_sources()
+
+    # -- construction ------------------------------------------------------
+
+    def _build_nodes(self) -> None:
+        for node_config in self.config.nodes:
+            trace = SimulationTrace()
+            self._node_traces[node_config.name] = trace
+            node = BottleneckQueue(
+                event_queue=self.events,
+                trace=trace,
+                service_rate=node_config.service_rate,
+                buffer_size=node_config.buffer_size,
+                marking_threshold=node_config.marking_threshold,
+                deterministic_service=True,
+                streams=self.streams,
+                on_departure=self._make_departure_handler(node_config.name),
+                on_drop=self._handle_drop)
+            self._nodes[node_config.name] = node
+
+    def _window_control(self, route: Route):
+        if route.window_scheme.lower() in ("jacobson", "tcp"):
+            return JacobsonWindow()
+        return DECbitWindow()
+
+    def _build_sources(self) -> None:
+        for index, route in enumerate(self._routes):
+            control = self._window_control(route)
+            explicit = route.window_scheme.lower() == "decbit"
+            first_node = self._nodes[route.hops[0]]
+            source = WindowSource(
+                source_id=index,
+                event_queue=self.events,
+                bottleneck=first_node,
+                trace=self.connection_trace,
+                control=control,
+                ack_channel=None,
+                initial_window=route.initial_window,
+                packet_spacing=0.01,
+                explicit_congestion=explicit)
+            self._sources.append(source)
+            self._route_of_source[index] = route
+            self._next_hop_index[index] = {}
+
+    # -- packet forwarding ---------------------------------------------------
+
+    def _make_departure_handler(self, node_name: str):
+        def handle(packet: Packet) -> None:
+            self._forward(packet, node_name)
+        return handle
+
+    def _forward(self, packet: Packet, node_name: str) -> None:
+        route = self._route_of_source[packet.source_id]
+        position = route.hops.index(node_name)
+        if position + 1 < len(route.hops):
+            next_node = self._nodes[route.hops[position + 1]]
+            # Clear per-node bookkeeping so the next hop re-times the packet.
+            packet.enqueue_time = None
+            packet.departure_time = None
+            self.events.schedule(
+                self.events.current_time + route.hop_delay,
+                lambda p=packet, node=next_node: node.receive(p),
+                label=f"forward {route.source_name}")
+        else:
+            # Delivered end to end: count it and return the acknowledgement
+            # over the route's return path.
+            self.connection_trace.count_delivery(packet.source_id)
+            return_delay = route.hop_count * route.hop_delay
+            source = self._sources[packet.source_id]
+            self.events.schedule(
+                self.events.current_time + return_delay,
+                lambda p=packet, s=source: s.handle_ack(p),
+                label=f"ack {route.source_name}")
+
+    def _handle_drop(self, packet: Packet) -> None:
+        route = self._route_of_source[packet.source_id]
+        self.connection_trace.count_loss(packet.source_id)
+        source = self._sources[packet.source_id]
+        # The sender learns about the loss after roughly one round trip.
+        self.events.schedule(
+            self.events.current_time + route.round_trip_propagation,
+            lambda p=packet, s=source: s.handle_drop(p),
+            label=f"drop notification {route.source_name}")
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, duration: float) -> MultiHopResult:
+        """Run the multi-hop simulation for *duration* time units."""
+        if duration <= 0.0:
+            raise ConfigurationError("duration must be positive")
+        for trace in self._node_traces.values():
+            trace.queue_length.record(0.0, 0.0)
+        for source in self._sources:
+            source.start(at_time=0.0)
+        self.events.run_until(duration)
+
+        deliveries = self.connection_trace.deliveries
+        losses = self.connection_trace.losses
+        throughputs = {}
+        hop_counts = {}
+        loss_counts = {}
+        for index, route in enumerate(self._routes):
+            throughputs[route.source_name] = deliveries.get(index, 0) / duration
+            hop_counts[route.source_name] = route.hop_count
+            loss_counts[route.source_name] = int(losses.get(index, 0))
+
+        node_mean_queue = {
+            name: trace.queue_length.time_average(0.0, duration)
+            for name, trace in self._node_traces.items()
+        }
+        return MultiHopResult(config=self.config, duration=duration,
+                              throughputs=throughputs, hop_counts=hop_counts,
+                              node_mean_queue=node_mean_queue,
+                              losses=loss_counts)
+
+
+def parking_lot_scenario(n_extra_hops: int = 2, service_rate: float = 10.0,
+                         buffer_size: int = 15, hop_delay: float = 0.2,
+                         scheme: str = "jacobson",
+                         seed: int = 5) -> MultiHopConfig:
+    """The classic 'parking-lot' topology used to study hop-count unfairness.
+
+    One long connection traverses ``n_extra_hops + 1`` nodes; one short
+    connection crosses only the shared node (the last one).  The long
+    connection therefore has the larger feedback delay and, per Section 7,
+    receives the smaller share of the shared node.
+    """
+    if n_extra_hops < 1:
+        raise ConfigurationError("n_extra_hops must be at least 1")
+    from .topology import NodeConfig, Route  # local import to avoid cycle noise
+
+    marking = buffer_size / 2.0 if scheme.lower() == "decbit" else None
+    node_names = [f"node-{i}" for i in range(n_extra_hops + 1)]
+    nodes = [NodeConfig(name=name, service_rate=service_rate,
+                        buffer_size=buffer_size, marking_threshold=marking)
+             for name in node_names]
+    shared = node_names[-1]
+    routes = [
+        Route(source_name=f"long-{n_extra_hops + 1}-hops", hops=node_names,
+              hop_delay=hop_delay, window_scheme=scheme),
+        Route(source_name="short-1-hop", hops=[shared], hop_delay=hop_delay,
+              window_scheme=scheme),
+    ]
+    return MultiHopConfig(nodes=nodes, routes=routes, seed=seed)

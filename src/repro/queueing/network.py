@@ -1,0 +1,119 @@
+"""Declarative network / scenario configuration for the simulator.
+
+A simulation is described by a :class:`NetworkConfig`: the bottleneck's
+service rate, buffer and marking threshold, plus one :class:`SourceConfig`
+per sender.  Keeping the description declarative lets the workload layer and
+the benchmarks build scenarios without touching simulator internals, and
+makes a configuration printable in experiment reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["SourceConfig", "NetworkConfig"]
+
+
+@dataclass(frozen=True)
+class SourceConfig:
+    """Configuration of one traffic source.
+
+    Attributes
+    ----------
+    kind:
+        ``"rate"`` for a rate-based adaptive source (the paper's model) or
+        ``"window"`` for a window-based source (Jacobson / DECbit).
+    control_name:
+        Registry name of the rate-control law (rate sources) or one of
+        ``"jacobson"`` / ``"decbit"`` (window sources).
+    control_kwargs:
+        Keyword arguments passed to the control-law constructor.
+    feedback_delay:
+        One-way feedback delay of this source's return path.
+    initial_rate:
+        Initial sending rate (rate sources) in packets per unit time.
+    initial_window:
+        Initial window (window sources) in packets.
+    control_interval:
+        Period of the rate-update loop (rate sources).
+    start_time:
+        When the source begins transmitting.
+    jitter_fraction:
+        Packet-spacing jitter for rate sources.
+    name:
+        Optional label for reports.
+    """
+
+    kind: str = "rate"
+    control_name: str = "jrj"
+    control_kwargs: dict = field(default_factory=dict)
+    feedback_delay: float = 0.0
+    initial_rate: float = 0.1
+    initial_window: float = 1.0
+    control_interval: float = 0.5
+    start_time: float = 0.0
+    jitter_fraction: float = 0.0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("rate", "window"):
+            raise ConfigurationError(
+                f"source kind must be 'rate' or 'window', got '{self.kind}'")
+        if self.feedback_delay < 0.0:
+            raise ConfigurationError("feedback_delay must be non-negative")
+        if self.start_time < 0.0:
+            raise ConfigurationError("start_time must be non-negative")
+        if self.kind == "rate" and self.initial_rate < 0.0:
+            raise ConfigurationError("initial_rate must be non-negative")
+        if self.kind == "window" and self.initial_window < 1.0:
+            raise ConfigurationError("initial_window must be at least 1")
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Configuration of the bottleneck and the full set of sources.
+
+    Attributes
+    ----------
+    service_rate:
+        Bottleneck service rate ``μ`` in packets per unit time.
+    buffer_size:
+        Bottleneck buffer in packets (``None`` = infinite).
+    marking_threshold:
+        Queue length at which arriving packets are congestion-marked
+        (``None`` disables explicit marking).
+    deterministic_service:
+        Deterministic (true) or exponential (false) service times.
+    sources:
+        The traffic sources.
+    seed:
+        Master random seed for all stochastic elements.
+    """
+
+    service_rate: float = 10.0
+    buffer_size: Optional[int] = None
+    marking_threshold: Optional[float] = None
+    deterministic_service: bool = True
+    sources: List[SourceConfig] = field(default_factory=list)
+    seed: int = 12345
+
+    def __post_init__(self) -> None:
+        if self.service_rate <= 0.0:
+            raise ConfigurationError("service_rate must be positive")
+        if self.buffer_size is not None and self.buffer_size < 1:
+            raise ConfigurationError("buffer_size must be at least 1")
+        if not self.sources:
+            raise ConfigurationError("need at least one source")
+
+    @property
+    def n_sources(self) -> int:
+        """Number of configured sources."""
+        return len(self.sources)
+
+    def source_names(self) -> List[str]:
+        """Labels of the sources (auto-generated when unnamed)."""
+        return [source.name or f"source-{index}"
+                for index, source in enumerate(self.sources)]

@@ -1,0 +1,56 @@
+"""Packet records exchanged between sources and the bottleneck."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["Packet"]
+
+
+@dataclass
+class Packet:
+    """A data packet travelling from a source through the bottleneck.
+
+    Attributes
+    ----------
+    source_id:
+        Index of the originating source.
+    sequence_number:
+        Per-source sequence number (used by window-based sources to match
+        acknowledgements to outstanding packets).
+    creation_time:
+        Simulated time at which the source emitted the packet.
+    size:
+        Packet size in service units (a size of 1.0 means the bottleneck
+        serves one such packet per ``1/μ`` time units).
+    congestion_marked:
+        Set by the bottleneck when the queue exceeded the marking threshold
+        at arrival -- the explicit feedback bit of the DECbit scheme.
+    enqueue_time, departure_time:
+        Filled in by the bottleneck for delay accounting; ``None`` if the
+        packet was dropped.
+    dropped:
+        True when the packet was discarded because the buffer was full.
+    """
+
+    source_id: int
+    sequence_number: int
+    creation_time: float
+    size: float = 1.0
+    congestion_marked: bool = False
+    enqueue_time: Optional[float] = None
+    departure_time: Optional[float] = None
+    dropped: bool = False
+
+    def queueing_delay(self) -> Optional[float]:
+        """Time the packet spent at the bottleneck, or ``None`` if not yet served."""
+        if self.departure_time is None or self.enqueue_time is None:
+            return None
+        return self.departure_time - self.enqueue_time
+
+    def end_to_end_delay(self) -> Optional[float]:
+        """Delay from creation to departure, or ``None`` if not yet served."""
+        if self.departure_time is None:
+            return None
+        return self.departure_time - self.creation_time

@@ -1,0 +1,142 @@
+"""The bottleneck node: a FIFO queue with a single server.
+
+The bottleneck serves packets in arrival order at mean rate ``μ`` (one
+packet of size 1 takes ``1/μ`` time units, optionally with exponential
+variation to model service-time randomness -- the microscopic origin of the
+σ² term of Equation 14).  The buffer may be finite, in which case packets
+arriving to a full queue are dropped, and a marking threshold implements the
+explicit congestion bit of the DECbit scheme: packets that arrive while the
+queue exceeds the threshold carry the congestion indication back to their
+source.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Deque, Optional
+from collections import deque
+
+from ..exceptions import ConfigurationError
+from .events import EventQueue
+from .packet import Packet
+from .random_streams import RandomStreams
+from .trace import SimulationTrace
+
+__all__ = ["BottleneckQueue"]
+
+
+class BottleneckQueue:
+    """Single-server FIFO bottleneck with optional finite buffer and marking.
+
+    Parameters
+    ----------
+    event_queue:
+        The simulator's event queue (used to schedule service completions).
+    trace:
+        Trace object that receives queue-length samples and loss counts.
+    service_rate:
+        Mean service rate ``μ`` in packets per unit time.
+    buffer_size:
+        Maximum number of packets held (including the one in service);
+        ``None`` means infinite.
+    marking_threshold:
+        Queue length at or above which arriving packets get their congestion
+        bit set (``None`` disables marking).
+    deterministic_service:
+        When true every packet takes exactly ``size/μ`` to serve; when false
+        service times are exponential with that mean.
+    streams:
+        Random streams (required only for exponential service).
+    on_departure:
+        Callback invoked with each served packet (the simulator uses it to
+        route acknowledgements back to the sources).
+    on_drop:
+        Callback invoked with each dropped packet.
+    """
+
+    def __init__(self, event_queue: EventQueue, trace: SimulationTrace,
+                 service_rate: float, buffer_size: Optional[int] = None,
+                 marking_threshold: Optional[float] = None,
+                 deterministic_service: bool = True,
+                 streams: Optional[RandomStreams] = None,
+                 on_departure: Optional[Callable[[Packet], None]] = None,
+                 on_drop: Optional[Callable[[Packet], None]] = None):
+        if service_rate <= 0.0:
+            raise ConfigurationError("service_rate must be positive")
+        if buffer_size is not None and buffer_size < 1:
+            raise ConfigurationError("buffer_size must be at least 1")
+        if not deterministic_service and streams is None:
+            raise ConfigurationError(
+                "exponential service requires a RandomStreams instance")
+        self._events = event_queue
+        self._trace = trace
+        self.service_rate = float(service_rate)
+        self.buffer_size = buffer_size
+        self.marking_threshold = marking_threshold
+        self.deterministic_service = deterministic_service
+        self._streams = streams
+        self.on_departure = on_departure
+        self.on_drop = on_drop
+        self._queue: Deque[Packet] = deque()
+        self._busy = False
+        self.total_arrivals = 0
+        self.total_departures = 0
+        self.total_drops = 0
+
+    @property
+    def queue_length(self) -> int:
+        """Current number of packets held (including the one in service)."""
+        return len(self._queue)
+
+    def _record_queue_length(self) -> None:
+        self._trace.queue_length.record(self._events.current_time,
+                                        float(self.queue_length))
+
+    def _service_time(self, packet: Packet) -> float:
+        mean = packet.size / self.service_rate
+        if self.deterministic_service:
+            return mean
+        return self._streams.exponential("service", mean)
+
+    def receive(self, packet: Packet) -> None:
+        """Handle a packet arriving at the bottleneck at the current time."""
+        now = self._events.current_time
+        self.total_arrivals += 1
+
+        if (self.marking_threshold is not None
+                and self.queue_length >= self.marking_threshold):
+            packet.congestion_marked = True
+
+        if self.buffer_size is not None and self.queue_length >= self.buffer_size:
+            packet.dropped = True
+            self.total_drops += 1
+            self._trace.count_loss(packet.source_id)
+            if self.on_drop is not None:
+                self.on_drop(packet)
+            return
+
+        packet.enqueue_time = now
+        self._queue.append(packet)
+        self._record_queue_length()
+        if not self._busy:
+            self._start_service()
+
+    def _start_service(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        packet = self._queue[0]
+        completion_time = self._events.current_time + self._service_time(packet)
+        self._events.schedule(completion_time, self._complete_service,
+                              label=f"service src={packet.source_id} "
+                                    f"seq={packet.sequence_number}")
+
+    def _complete_service(self) -> None:
+        packet = self._queue.popleft()
+        packet.departure_time = self._events.current_time
+        self.total_departures += 1
+        self._trace.count_delivery(packet.source_id)
+        self._record_queue_length()
+        if self.on_departure is not None:
+            self.on_departure(packet)
+        self._start_service()

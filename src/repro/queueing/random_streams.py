@@ -1,0 +1,62 @@
+"""Seeded random-variate streams for the discrete-event simulator.
+
+Each stochastic element of the simulation (per-source packet spacing jitter,
+service-time variation) draws from its own named stream so that changing one
+element's randomness does not perturb the others -- the standard
+common-random-numbers discipline for comparing protocol variants.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["RandomStreams"]
+
+
+class RandomStreams:
+    """A family of independently seeded :class:`numpy.random.Generator` streams.
+
+    Parameters
+    ----------
+    seed:
+        Master seed.  Each named stream derives its own child seed from the
+        master seed and the stream name, so streams are reproducible and
+        independent of the order in which they are first requested.
+    """
+
+    def __init__(self, seed: int = 12345):
+        if seed < 0:
+            raise ConfigurationError("seed must be non-negative")
+        self._seed = int(seed)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return (creating on first use) the generator for *name*."""
+        if name not in self._streams:
+            child_seed = np.random.SeedSequence(
+                [self._seed, abs(hash(name)) % (2 ** 31)])
+            self._streams[name] = np.random.default_rng(child_seed)
+        return self._streams[name]
+
+    def exponential(self, name: str, mean: float) -> float:
+        """Draw an exponential variate with the given *mean* from stream *name*."""
+        if mean <= 0.0:
+            raise ConfigurationError("exponential mean must be positive")
+        return float(self.stream(name).exponential(mean))
+
+    def deterministic(self, _name: str, value: float) -> float:
+        """Return *value* unchanged (deterministic 'distribution' helper)."""
+        return float(value)
+
+    def uniform_jitter(self, name: str, base: float, jitter_fraction: float) -> float:
+        """Return *base* perturbed by a uniform factor in ``±jitter_fraction``."""
+        if jitter_fraction < 0.0:
+            raise ConfigurationError("jitter_fraction must be non-negative")
+        if jitter_fraction == 0.0:
+            return float(base)
+        factor = 1.0 + self.stream(name).uniform(-jitter_fraction, jitter_fraction)
+        return float(base * factor)

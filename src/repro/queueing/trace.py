@@ -1,0 +1,138 @@
+"""Trace recording for the discrete-event simulator.
+
+Two layers are provided: :class:`TimeSeriesTrace`, a generic append-only
+``(time, value)`` series with time-average and resampling helpers, and
+:class:`SimulationTrace`, the bundle of series a simulation run produces
+(queue length, per-source sending rate / window, cumulative deliveries and
+losses) plus the derived metrics the experiments need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from ..exceptions import AnalysisError
+from ..numerics.stats import WeightedStatistics
+
+__all__ = ["TimeSeriesTrace", "SimulationTrace"]
+
+
+class TimeSeriesTrace:
+    """An append-only piecewise-constant time series.
+
+    Values are recorded at (non-decreasing) times; between two records the
+    series holds the earlier value, which matches how queue length and
+    window size actually evolve in the simulator.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        """Append a sample (times must be non-decreasing)."""
+        if self._times and time < self._times[-1] - 1e-12:
+            raise AnalysisError(
+                f"trace '{self.name}' received out-of-order time {time:.6g}")
+        self._times.append(float(time))
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def times(self) -> np.ndarray:
+        """Recorded times as an array."""
+        return np.asarray(self._times)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Recorded values as an array."""
+        return np.asarray(self._values)
+
+    def last_value(self, default: float = 0.0) -> float:
+        """Most recent value, or *default* when the trace is empty."""
+        return self._values[-1] if self._values else default
+
+    def time_average(self, t_start: float = 0.0, t_end: float = None) -> float:
+        """Time-average of the piecewise-constant series over ``[t_start, t_end]``."""
+        if not self._times:
+            raise AnalysisError(f"trace '{self.name}' is empty")
+        t_end = t_end if t_end is not None else self._times[-1]
+        if t_end <= t_start:
+            raise AnalysisError("t_end must exceed t_start for a time average")
+        stats = WeightedStatistics()
+        times = self._times
+        values = self._values
+        for i in range(len(times)):
+            interval_start = max(times[i], t_start)
+            interval_end = t_end if i == len(times) - 1 else min(times[i + 1], t_end)
+            if interval_end > interval_start:
+                stats.update(values[i], interval_end - interval_start)
+        return stats.mean
+
+    def resample(self, sample_times: np.ndarray) -> np.ndarray:
+        """Sample the piecewise-constant series at the given times."""
+        if not self._times:
+            raise AnalysisError(f"trace '{self.name}' is empty")
+        sample_times = np.asarray(sample_times, dtype=float)
+        times = np.asarray(self._times)
+        values = np.asarray(self._values)
+        indices = np.searchsorted(times, sample_times, side="right") - 1
+        indices = np.clip(indices, 0, len(values) - 1)
+        return values[indices]
+
+
+@dataclass
+class SimulationTrace:
+    """All the time series recorded during one simulation run.
+
+    Attributes
+    ----------
+    queue_length:
+        Bottleneck queue length over time (in packets).
+    source_rates:
+        Per-source sending rate (rate-based sources) or window size
+        (window-based sources) over time, keyed by source index.
+    deliveries:
+        Per-source cumulative count of packets served by the bottleneck.
+    losses:
+        Per-source cumulative count of packets dropped at the bottleneck.
+    """
+
+    queue_length: TimeSeriesTrace = field(
+        default_factory=lambda: TimeSeriesTrace("queue_length"))
+    source_rates: Dict[int, TimeSeriesTrace] = field(default_factory=dict)
+    deliveries: Dict[int, int] = field(default_factory=dict)
+    losses: Dict[int, int] = field(default_factory=dict)
+
+    def rate_trace(self, source_id: int) -> TimeSeriesTrace:
+        """The (created-on-demand) rate/window trace of one source."""
+        if source_id not in self.source_rates:
+            self.source_rates[source_id] = TimeSeriesTrace(f"rate-{source_id}")
+        return self.source_rates[source_id]
+
+    def count_delivery(self, source_id: int) -> None:
+        """Increment the delivered-packet counter of a source."""
+        self.deliveries[source_id] = self.deliveries.get(source_id, 0) + 1
+
+    def count_loss(self, source_id: int) -> None:
+        """Increment the dropped-packet counter of a source."""
+        self.losses[source_id] = self.losses.get(source_id, 0) + 1
+
+    def throughput(self, source_id: int, duration: float) -> float:
+        """Delivered packets per unit time for one source over *duration*."""
+        if duration <= 0.0:
+            raise AnalysisError("duration must be positive")
+        return self.deliveries.get(source_id, 0) / duration
+
+    def loss_rate(self, source_id: int) -> float:
+        """Fraction of a source's packets that were dropped."""
+        delivered = self.deliveries.get(source_id, 0)
+        lost = self.losses.get(source_id, 0)
+        total = delivered + lost
+        return lost / total if total else 0.0

@@ -1,0 +1,112 @@
+"""Ensemble summaries and comparison against the Fokker-Planck density."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..config import SystemParameters
+from ..control.base import RateControl
+from ..core.moments import marginal_q
+from ..core.solver import FokkerPlanckResult
+from ..exceptions import AnalysisError
+from ..numerics.sde import SDEPaths
+from ..numerics.stats import empirical_density
+from .langevin import LangevinModel
+
+__all__ = ["EnsembleResult", "run_ensemble", "compare_with_density"]
+
+
+@dataclass
+class EnsembleResult:
+    """Summary of one Langevin Monte-Carlo ensemble run.
+
+    Attributes
+    ----------
+    paths:
+        The raw sample paths.
+    mu:
+        Service rate used, kept so rate-vs-growth conversions need no extra
+        argument.
+    """
+
+    paths: SDEPaths
+    mu: float
+
+    @property
+    def times(self) -> np.ndarray:
+        """Snapshot times of the ensemble."""
+        return self.paths.times
+
+    @property
+    def mean_queue(self) -> np.ndarray:
+        """Ensemble-mean queue length over time."""
+        return self.paths.mean(0)
+
+    @property
+    def std_queue(self) -> np.ndarray:
+        """Ensemble standard deviation of the queue length over time."""
+        return np.sqrt(self.paths.variance(0))
+
+    @property
+    def mean_rate(self) -> np.ndarray:
+        """Ensemble-mean arrival rate over time."""
+        return self.paths.mean(1)
+
+    def final_queue_samples(self) -> np.ndarray:
+        """Queue lengths of all particles at the final time."""
+        return self.paths.final_states[:, 0]
+
+    def final_queue_density(self, edges: np.ndarray
+                            ) -> tuple[np.ndarray, np.ndarray]:
+        """Empirical queue-length density at the final time on the given bins."""
+        return empirical_density(self.final_queue_samples(), edges)
+
+    def overflow_probability(self, threshold: float) -> float:
+        """Fraction of particles whose final queue exceeds *threshold*."""
+        samples = self.final_queue_samples()
+        return float(np.mean(samples > threshold))
+
+
+def run_ensemble(control: RateControl, params: SystemParameters, q0: float,
+                 rate0: float, t_end: float, dt: float = 0.02,
+                 n_paths: int = 2000, feedback_delay: float = 0.0,
+                 rng: Optional[np.random.Generator] = None) -> EnsembleResult:
+    """Run a Langevin ensemble with the given control law and parameters."""
+    model = LangevinModel(control, params, feedback_delay=feedback_delay)
+    paths = model.simulate(q0=q0, rate0=rate0, t_end=t_end, dt=dt,
+                           n_paths=n_paths, rng=rng)
+    return EnsembleResult(paths=paths, mu=params.mu)
+
+
+def compare_with_density(ensemble: EnsembleResult,
+                         fp_result: FokkerPlanckResult) -> dict:
+    """Compare an ensemble against a Fokker-Planck result at the final time.
+
+    Returns a dictionary with the absolute differences of the final mean and
+    standard deviation of the queue, and the L1 distance between the FP
+    queue marginal and the empirical particle density binned on the same
+    grid.  The two runs must cover (approximately) the same horizon.
+    """
+    if abs(ensemble.times[-1] - fp_result.times[-1]) > 1.0:
+        raise AnalysisError(
+            "ensemble and Fokker-Planck runs cover different horizons")
+
+    fp_moments = fp_result.final_moments
+    mean_difference = abs(float(ensemble.mean_queue[-1]) - fp_moments.mean_q)
+    std_difference = abs(float(ensemble.std_queue[-1]) - fp_moments.std_q)
+
+    grid = fp_result.grid
+    edges = grid.q_grid.edges
+    _, empirical = ensemble.final_queue_density(edges)
+    fp_marginal = marginal_q(fp_result.final_density, grid)
+    fp_marginal = fp_marginal / max(float(np.sum(fp_marginal) * grid.dq), 1e-300)
+    l1_distance = float(np.sum(np.abs(empirical - fp_marginal)) * grid.dq)
+
+    return {
+        "mean_queue_difference": mean_difference,
+        "std_queue_difference": std_difference,
+        "marginal_l1_distance": l1_distance,
+    }

@@ -1,0 +1,38 @@
+"""Canonical scenarios and parameter sweeps used by examples and benchmarks.
+
+Every experiment in EXPERIMENTS.md starts from one of the scenario builders
+here so the parameters appearing in reports are defined in exactly one
+place.  The sweep runner evaluates a scenario-producing callable over a grid
+of parameter values and collects the results.
+"""
+
+from .scenarios import (
+    single_source_scenario,
+    homogeneous_sources_scenario,
+    heterogeneous_parameters_scenario,
+    heterogeneous_delay_scenario,
+    packet_level_jrj_scenario,
+    packet_level_window_scenario,
+)
+from .sweep import ParameterSweep, run_sweep
+from .traffic import (
+    OnOffArrivals,
+    PoissonArrivals,
+    estimate_sigma_from_counts,
+    sigma_for_poisson,
+)
+
+__all__ = [
+    "PoissonArrivals",
+    "OnOffArrivals",
+    "estimate_sigma_from_counts",
+    "sigma_for_poisson",
+    "single_source_scenario",
+    "homogeneous_sources_scenario",
+    "heterogeneous_parameters_scenario",
+    "heterogeneous_delay_scenario",
+    "packet_level_jrj_scenario",
+    "packet_level_window_scenario",
+    "ParameterSweep",
+    "run_sweep",
+]

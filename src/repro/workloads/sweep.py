@@ -1,0 +1,65 @@
+"""Generic parameter-sweep runner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["ParameterSweep", "run_sweep"]
+
+
+@dataclass
+class ParameterSweep:
+    """Results of sweeping one scalar parameter.
+
+    Attributes
+    ----------
+    parameter_name:
+        Name of the swept parameter (used in report headers).
+    values:
+        The parameter values, in the order they were run.
+    results:
+        One result object per value (whatever the evaluated callable
+        returned).
+    """
+
+    parameter_name: str
+    values: List[float] = field(default_factory=list)
+    results: List[object] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def rows(self, extractor: Callable[[object], dict]) -> List[dict]:
+        """Build table rows by applying *extractor* to each result."""
+        rows = []
+        for value, result in zip(self.values, self.results):
+            row = {self.parameter_name: value}
+            row.update(extractor(result))
+            rows.append(row)
+        return rows
+
+
+def run_sweep(parameter_name: str, values: Sequence[float],
+              evaluate: Callable[[float], object]) -> ParameterSweep:
+    """Evaluate *evaluate* at every value and collect the results in order.
+
+    Parameters
+    ----------
+    parameter_name:
+        Label for the swept parameter.
+    values:
+        Values to evaluate (must be non-empty).
+    evaluate:
+        Callable mapping one parameter value to a result object.
+    """
+    values = list(values)
+    if not values:
+        raise ConfigurationError("sweep needs at least one value")
+    sweep = ParameterSweep(parameter_name=parameter_name)
+    for value in values:
+        sweep.values.append(float(value))
+        sweep.results.append(evaluate(float(value)))
+    return sweep

@@ -1,0 +1,161 @@
+"""Synthetic traffic models and calibration of the diffusion coefficient.
+
+The σ² term of Equation 14 summarises the *variability* of the queue growth
+process -- the burstiness of arrivals and the randomness of service that a
+deterministic fluid model throws away.  To use the Fokker-Planck model on a
+real (or simulated) system one needs a value for σ, and this module provides
+the link:
+
+* traffic generators (:class:`PoissonArrivals`, :class:`OnOffArrivals`)
+  producing arrival-count sequences with known statistical properties, and
+* :func:`estimate_sigma_from_counts`, which recovers σ from an observed
+  sequence of per-interval arrival and service counts as the square root of
+  the variance rate of the queue increments,
+
+      σ² ≈ Var[A(Δ) − S(Δ)] / Δ,
+
+  the standard diffusion-approximation identification.  For Poisson traffic
+  at rate λ served at deterministic rate μ this gives σ² ≈ λ, which the
+  tests verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import AnalysisError, ConfigurationError
+
+__all__ = [
+    "PoissonArrivals",
+    "OnOffArrivals",
+    "estimate_sigma_from_counts",
+    "sigma_for_poisson",
+]
+
+
+@dataclass
+class PoissonArrivals:
+    """Poisson packet arrivals at a constant mean rate.
+
+    :meth:`counts` returns the number of arrivals in each of ``n_intervals``
+    consecutive intervals of length ``interval`` -- the form the estimator
+    consumes.
+    """
+
+    rate: float
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0.0:
+            raise ConfigurationError("rate must be positive")
+
+    def counts(self, n_intervals: int, interval: float = 1.0) -> np.ndarray:
+        """Arrival counts per interval, shape ``(n_intervals,)``."""
+        if n_intervals < 1 or interval <= 0.0:
+            raise ConfigurationError("need n_intervals >= 1 and interval > 0")
+        rng = np.random.default_rng(self.seed)
+        return rng.poisson(self.rate * interval, size=n_intervals).astype(float)
+
+
+@dataclass
+class OnOffArrivals:
+    """Bursty on/off arrivals (a simple Markov-modulated Poisson process).
+
+    While *on* the source emits Poisson arrivals at ``peak_rate``; while
+    *off* it is silent.  The on/off holding times are geometric with the
+    given mean number of intervals, so longer holding times mean burstier
+    traffic and a larger effective σ for the same average rate.
+    """
+
+    peak_rate: float
+    mean_on_intervals: float = 5.0
+    mean_off_intervals: float = 5.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.peak_rate <= 0.0:
+            raise ConfigurationError("peak_rate must be positive")
+        if self.mean_on_intervals <= 0.0 or self.mean_off_intervals <= 0.0:
+            raise ConfigurationError("mean holding times must be positive")
+
+    @property
+    def average_rate(self) -> float:
+        """Long-run average arrival rate."""
+        on_fraction = self.mean_on_intervals / (self.mean_on_intervals
+                                                + self.mean_off_intervals)
+        return self.peak_rate * on_fraction
+
+    def counts(self, n_intervals: int, interval: float = 1.0) -> np.ndarray:
+        """Arrival counts per interval, shape ``(n_intervals,)``."""
+        if n_intervals < 1 or interval <= 0.0:
+            raise ConfigurationError("need n_intervals >= 1 and interval > 0")
+        rng = np.random.default_rng(self.seed)
+        counts = np.zeros(n_intervals)
+        on = True
+        switch_probability_on = 1.0 / self.mean_on_intervals
+        switch_probability_off = 1.0 / self.mean_off_intervals
+        for index in range(n_intervals):
+            if on:
+                counts[index] = rng.poisson(self.peak_rate * interval)
+                if rng.random() < switch_probability_on:
+                    on = False
+            else:
+                if rng.random() < switch_probability_off:
+                    on = True
+        return counts
+
+
+def estimate_sigma_from_counts(arrival_counts: np.ndarray,
+                               service_counts: Optional[np.ndarray] = None,
+                               interval: float = 1.0) -> float:
+    """Estimate the diffusion coefficient σ from per-interval counts.
+
+    Parameters
+    ----------
+    arrival_counts:
+        Number of arrivals in each observation interval.
+    service_counts:
+        Number of service completions in each interval; when omitted the
+        service is treated as deterministic (zero variance contribution).
+    interval:
+        Length of each observation interval.
+
+    Returns
+    -------
+    float
+        ``sqrt(Var[A − S] / interval)`` -- the σ to plug into Equation 14.
+
+    Raises
+    ------
+    AnalysisError
+        With fewer than two intervals, mismatched lengths or a non-positive
+        interval.
+    """
+    arrivals = np.asarray(arrival_counts, dtype=float)
+    if arrivals.size < 2:
+        raise AnalysisError("need at least two observation intervals")
+    if interval <= 0.0:
+        raise AnalysisError("interval must be positive")
+    if service_counts is None:
+        increments = arrivals
+    else:
+        services = np.asarray(service_counts, dtype=float)
+        if services.shape != arrivals.shape:
+            raise AnalysisError("arrival and service counts must align")
+        increments = arrivals - services
+    variance_rate = float(np.var(increments, ddof=1)) / interval
+    return float(np.sqrt(max(variance_rate, 0.0)))
+
+
+def sigma_for_poisson(rate: float) -> float:
+    """Theoretical σ for Poisson arrivals at *rate* with deterministic service.
+
+    The variance of a Poisson count over an interval Δ is ``rate · Δ``, so
+    the variance rate is ``rate`` and σ = sqrt(rate).
+    """
+    if rate <= 0.0:
+        raise ConfigurationError("rate must be positive")
+    return float(np.sqrt(rate))

@@ -1,0 +1,114 @@
+"""Cross-validation of the independent substrates against each other.
+
+The Fokker-Planck solver, the Langevin Monte-Carlo ensemble, the fluid
+(Bolot-Shankar) model and the packet-level discrete-event simulator all
+describe the same physical system; these tests check that they agree where
+they should and differ exactly where the paper says they differ (the fluid
+model has no variance, the FP model does).
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    FluidModel,
+    FokkerPlanckSolver,
+    GridParameters,
+    JRJControl,
+    SystemParameters,
+    TimeParameters,
+    compare_fluid_and_fokker_planck,
+    compare_with_density,
+    run_ensemble,
+)
+from repro.queueing import Simulator
+from repro.workloads import packet_level_jrj_scenario, single_source_scenario
+
+
+@pytest.fixture(scope="module")
+def grid_params():
+    return GridParameters(q_max=40.0, nq=100, v_min=-1.5, v_max=1.5, nv=60)
+
+
+class TestFokkerPlanckVersusMonteCarlo:
+    """The FP density must match the Langevin particle ensemble."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        params = SystemParameters(mu=1.0, q_target=10.0, c0=0.05, c1=0.2,
+                                  sigma=0.5)
+        control = JRJControl(0.05, 0.2, 10.0)
+        grid = GridParameters(q_max=40.0, nq=100, v_min=-1.5, v_max=1.5, nv=60)
+        solver = FokkerPlanckSolver(params, control, grid_params=grid)
+        fp = solver.solve_from_point(
+            0.0, 0.5, TimeParameters(t_end=150.0, dt=0.5, snapshot_every=20))
+        ensemble = run_ensemble(control, params, q0=0.0, rate0=0.5,
+                                t_end=150.0, dt=0.02, n_paths=3000,
+                                rng=np.random.default_rng(99))
+        return fp, ensemble
+
+    def test_mean_queue_agrees(self, setup):
+        fp, ensemble = setup
+        assert abs(fp.final_moments.mean_q - ensemble.mean_queue[-1]) < 1.0
+
+    def test_std_queue_agrees(self, setup):
+        fp, ensemble = setup
+        assert abs(fp.final_moments.std_q - ensemble.std_queue[-1]) < 1.0
+
+    def test_marginal_densities_close_in_l1(self, setup):
+        fp, ensemble = setup
+        comparison = compare_with_density(ensemble, fp)
+        assert comparison["marginal_l1_distance"] < 0.5
+
+    def test_overflow_probabilities_agree(self, setup):
+        fp, ensemble = setup
+        threshold = 13.0
+        fp_overflow = fp.overflow_probability(threshold)
+        mc_overflow = ensemble.overflow_probability(threshold)
+        assert abs(fp_overflow - mc_overflow) < 0.15
+
+
+class TestFokkerPlanckVersusFluid:
+    """Mean trajectories agree; only the FP model carries variance."""
+
+    def test_mean_tracks_fluid_but_variance_is_extra(self, grid_params):
+        params, control = single_source_scenario(sigma=0.4)
+        comparison = compare_fluid_and_fokker_planck(
+            control, params, q0=0.0, rate0=0.5, t_end=80.0,
+            grid_params=grid_params, buffer_size=20.0)
+        assert comparison.mean_queue_rmse < 3.0
+        assert comparison.final_queue_std > 0.5
+        assert 0.0 <= comparison.overflow_probability <= 1.0
+
+    def test_fluid_and_characteristic_limits_agree(self):
+        params, control = single_source_scenario()
+        fluid = FluidModel(control, params).solve(q0=0.0, rate0=0.5,
+                                                  t_end=1200.0, dt=0.05)
+        assert fluid.final_queue == pytest.approx(params.q_target, abs=1.0)
+        assert fluid.final_rate == pytest.approx(params.mu, abs=0.1)
+
+
+class TestContinuousVersusPacketLevel:
+    """The packet-level simulator realises the same operating point."""
+
+    def test_mean_queue_near_target_in_both(self):
+        params, control = single_source_scenario()
+        fluid = FluidModel(control, params).solve(q0=0.0, rate0=0.5,
+                                                  t_end=1000.0, dt=0.05)
+        config = packet_level_jrj_scenario(n_sources=1, service_rate=10.0,
+                                           q_target=10.0)
+        packet = Simulator(config).run(duration=400.0)
+        # Both settle in the neighbourhood of the target queue of 10 packets.
+        assert abs(fluid.time_average_queue() - 10.0) < 3.0
+        assert abs(packet.mean_queue_length - 10.0) < 5.0
+
+    def test_packet_level_utilisation_matches_continuous_prediction(self):
+        # The continuous model predicts full utilisation (sum of rates = mu).
+        config = packet_level_jrj_scenario(n_sources=2, service_rate=10.0)
+        result = Simulator(config).run(duration=400.0)
+        assert result.utilization() == pytest.approx(1.0, abs=0.1)
+
+    def test_packet_level_fairness_matches_continuous_prediction(self):
+        config = packet_level_jrj_scenario(n_sources=3, service_rate=12.0)
+        result = Simulator(config).run(duration=400.0)
+        assert result.fairness_index() > 0.98

@@ -1,0 +1,84 @@
+"""Property-based tests of the dynamical models and the FP solver."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    FokkerPlanckSolver,
+    GridParameters,
+    JRJControl,
+    SystemParameters,
+    TimeParameters,
+    integrate_characteristic,
+)
+from repro.core.moments import compute_moments
+from repro.fluid import FluidModel
+
+small_gain = st.floats(min_value=0.01, max_value=0.3, allow_nan=False)
+decrease_gain = st.floats(min_value=0.05, max_value=1.0, allow_nan=False)
+target = st.floats(min_value=2.0, max_value=20.0, allow_nan=False)
+initial_rate = st.floats(min_value=0.0, max_value=2.0, allow_nan=False)
+initial_queue = st.floats(min_value=0.0, max_value=25.0, allow_nan=False)
+
+
+class TestCharacteristicInvariants:
+    @given(c0=small_gain, c1=decrease_gain, q_target=target,
+           q0=initial_queue, rate0=initial_rate)
+    @settings(max_examples=30, deadline=None)
+    def test_state_stays_physical(self, c0, c1, q_target, q0, rate0):
+        params = SystemParameters(mu=1.0, q_target=q_target, c0=c0, c1=c1)
+        control = JRJControl(c0=c0, c1=c1, q_target=q_target)
+        trajectory = integrate_characteristic(control, params, q0=q0,
+                                              rate0=rate0, t_end=150.0, dt=0.05)
+        assert np.all(trajectory.queue >= 0.0)
+        assert np.all(trajectory.rate >= 0.0)
+        assert np.all(np.isfinite(trajectory.queue))
+
+    @given(c0=small_gain, c1=decrease_gain, q_target=target)
+    @settings(max_examples=20, deadline=None)
+    def test_rate_bounded_by_probing_envelope(self, c0, c1, q_target):
+        # The rate can never exceed the value reached by increasing at C0 for
+        # the whole run starting from the initial rate.
+        params = SystemParameters(mu=1.0, q_target=q_target, c0=c0, c1=c1)
+        control = JRJControl(c0=c0, c1=c1, q_target=q_target)
+        t_end = 150.0
+        trajectory = integrate_characteristic(control, params, q0=0.0,
+                                              rate0=0.5, t_end=t_end, dt=0.05)
+        assert np.max(trajectory.rate) <= 0.5 + c0 * t_end + 1e-6
+
+    @given(c0=small_gain, c1=decrease_gain, q_target=target)
+    @settings(max_examples=15, deadline=None)
+    def test_fluid_and_characteristic_agree_without_noise(self, c0, c1,
+                                                          q_target):
+        params = SystemParameters(mu=1.0, q_target=q_target, c0=c0, c1=c1)
+        control = JRJControl(c0=c0, c1=c1, q_target=q_target)
+        characteristic = integrate_characteristic(control, params, q0=0.0,
+                                                  rate0=0.5, t_end=100.0,
+                                                  dt=0.05)
+        fluid = FluidModel(control, params).solve(q0=0.0, rate0=0.5,
+                                                  t_end=100.0, dt=0.05)
+        # Both integrate the same ODE system, so they must agree closely.
+        assert np.allclose(characteristic.queue, fluid.queue, atol=0.2)
+
+
+class TestFokkerPlanckInvariants:
+    @given(sigma=st.floats(min_value=0.0, max_value=0.8, allow_nan=False),
+           q0=st.floats(min_value=0.0, max_value=15.0, allow_nan=False),
+           rate0=st.floats(min_value=0.1, max_value=1.5, allow_nan=False))
+    @settings(max_examples=10, deadline=None)
+    def test_mass_conservation_and_positivity(self, sigma, q0, rate0):
+        params = SystemParameters(mu=1.0, q_target=10.0, c0=0.05, c1=0.2,
+                                  sigma=sigma)
+        control = JRJControl(0.05, 0.2, 10.0)
+        solver = FokkerPlanckSolver(
+            params, control,
+            grid_params=GridParameters(q_max=30.0, nq=45, v_min=-1.2,
+                                       v_max=1.2, nv=36))
+        result = solver.solve_from_point(
+            q0, rate0, TimeParameters(t_end=15.0, dt=0.5, snapshot_every=10))
+        for snapshot in result.snapshots:
+            assert np.all(snapshot.density >= 0.0)
+            assert np.isclose(snapshot.moments.mass, 1.0, atol=1e-6)
+            moments = compute_moments(snapshot.density, result.grid)
+            assert 0.0 <= moments.mean_q <= 30.0

@@ -1,0 +1,116 @@
+"""Property-based tests of the numerical substrate (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.numerics.grids import UniformGrid1D
+from repro.numerics.integrate import cumulative_trapezoid, normalize_density
+from repro.numerics.interpolate import linear_interpolate
+from repro.numerics.stats import RunningStatistics, WeightedStatistics
+from repro.numerics.tridiag import solve_tridiagonal
+
+finite_floats = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False,
+                          allow_infinity=False)
+positive_floats = st.floats(min_value=1e-3, max_value=1e3, allow_nan=False,
+                            allow_infinity=False)
+
+
+class TestTridiagonalProperties:
+    @given(n=st.integers(min_value=2, max_value=40), seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_solution_satisfies_system(self, n, seed):
+        rng = np.random.default_rng(seed)
+        lower = rng.uniform(-1.0, 1.0, n)
+        upper = rng.uniform(-1.0, 1.0, n)
+        diag = 3.0 + rng.uniform(0.0, 1.0, n)  # diagonally dominant
+        rhs = rng.uniform(-10.0, 10.0, n)
+        solution = solve_tridiagonal(lower, diag, upper, rhs)
+        reconstructed = diag * solution
+        reconstructed[1:] += lower[1:] * solution[:-1]
+        reconstructed[:-1] += upper[:-1] * solution[1:]
+        assert np.allclose(reconstructed, rhs, atol=1e-8)
+
+
+class TestGridProperties:
+    @given(lower=finite_floats, width=positive_floats,
+           n=st.integers(min_value=2, max_value=500))
+    @settings(max_examples=100, deadline=None)
+    def test_cells_tile_the_interval(self, lower, width, n):
+        grid = UniformGrid1D(lower, lower + width, n)
+        assert grid.centers.size == n
+        assert grid.edges.size == n + 1
+        assert np.isclose(grid.edges[-1] - grid.edges[0], width, rtol=1e-9)
+        assert np.allclose(np.diff(grid.centers), grid.dx, rtol=1e-6)
+
+    @given(lower=finite_floats, width=positive_floats,
+           n=st.integers(min_value=2, max_value=200),
+           x=finite_floats)
+    @settings(max_examples=100, deadline=None)
+    def test_locate_returns_valid_index(self, lower, width, n, x):
+        grid = UniformGrid1D(lower, lower + width, n)
+        index = grid.locate(x)
+        assert 0 <= index < n
+
+    @given(lower=finite_floats, width=positive_floats,
+           n=st.integers(min_value=2, max_value=200))
+    @settings(max_examples=50, deadline=None)
+    def test_delta_density_always_unit_mass(self, lower, width, n):
+        grid = UniformGrid1D(lower, lower + width, n)
+        x = lower + 0.37 * width
+        density = grid.delta_density(x)
+        assert np.isclose(np.sum(density) * grid.dx, 1.0)
+
+
+class TestQuadratureProperties:
+    @given(values=arrays(np.float64, st.integers(min_value=2, max_value=200),
+                         elements=st.floats(min_value=1e-6, max_value=1e3)),
+           dx=positive_floats)
+    @settings(max_examples=100, deadline=None)
+    def test_normalized_density_integrates_to_one(self, values, dx):
+        normalized = normalize_density(values, dx)
+        assert np.isclose(np.sum(normalized) * dx, 1.0)
+
+    @given(values=arrays(np.float64, st.integers(min_value=2, max_value=100),
+                         elements=st.floats(min_value=0.0, max_value=100.0)),
+           dx=positive_floats)
+    @settings(max_examples=100, deadline=None)
+    def test_cumulative_integral_is_monotone_for_non_negative_integrand(
+            self, values, dx):
+        cumulative = cumulative_trapezoid(values, dx)
+        assert np.all(np.diff(cumulative) >= -1e-12)
+
+
+class TestInterpolationProperties:
+    @given(seed=st.integers(0, 2**31 - 1), x=finite_floats)
+    @settings(max_examples=100, deadline=None)
+    def test_interpolation_stays_within_value_range(self, seed, x):
+        rng = np.random.default_rng(seed)
+        n = rng.integers(2, 30)
+        xs = np.sort(rng.uniform(-100.0, 100.0, n))
+        ys = rng.uniform(-50.0, 50.0, n)
+        value = linear_interpolate(float(x), xs, ys)
+        assert np.min(ys) - 1e-9 <= value <= np.max(ys) + 1e-9
+
+
+class TestStatisticsProperties:
+    @given(samples=arrays(np.float64, st.integers(min_value=2, max_value=300),
+                          elements=finite_floats))
+    @settings(max_examples=100, deadline=None)
+    def test_running_statistics_match_numpy(self, samples):
+        stats = RunningStatistics()
+        stats.update_many(samples)
+        assert np.isclose(stats.mean, np.mean(samples), atol=1e-6)
+        assert np.isclose(stats.variance, np.var(samples, ddof=1), atol=1e-4,
+                          rtol=1e-4)
+
+    @given(values=arrays(np.float64, st.integers(min_value=1, max_value=100),
+                         elements=finite_floats),
+           weight=positive_floats)
+    @settings(max_examples=100, deadline=None)
+    def test_uniform_weights_reduce_to_plain_mean(self, values, weight):
+        stats = WeightedStatistics()
+        for value in values:
+            stats.update(float(value), weight)
+        assert np.isclose(stats.mean, np.mean(values), atol=1e-6)

@@ -1,0 +1,69 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        for command in ("theorem1", "density", "delay-sweep", "fairness",
+                        "multihop"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_common_parameters_parsed(self):
+        args = build_parser().parse_args(
+            ["theorem1", "--mu", "2.0", "--q-target", "5", "--c0", "0.1",
+             "--c1", "0.4"])
+        assert args.mu == 2.0
+        assert args.q_target == 5.0
+        assert args.c0 == 0.1
+        assert args.c1 == 0.4
+
+
+class TestCommands:
+    def test_theorem1_command(self, capsys):
+        exit_code = main(["theorem1"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "converges" in output
+
+    def test_theorem1_with_portrait(self, capsys):
+        exit_code = main(["theorem1", "--portrait"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "q = q_target" in output
+
+    def test_density_command(self, capsys):
+        exit_code = main(["density", "--sigma", "0.3", "--t-end", "30"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "mean_queue" in output
+        assert "P(Q > 2 q_target)" in output
+
+    def test_delay_sweep_command(self, capsys):
+        exit_code = main(["delay-sweep", "--delays", "0", "4",
+                          "--t-end", "300"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "queue_amplitude" in output
+
+    def test_fairness_command(self, capsys):
+        exit_code = main(["fairness", "--sources", "3", "--t-end", "300"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Jain index" in output
+
+    def test_multihop_command(self, capsys):
+        exit_code = main(["multihop", "--extra-hops", "1",
+                          "--duration", "100"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "throughput" in output
+        assert "long/short" in output

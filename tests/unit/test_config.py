@@ -1,0 +1,146 @@
+"""Unit tests for the parameter dataclasses in repro.config."""
+
+import pytest
+
+from repro import (
+    ConfigurationError,
+    DelayParameters,
+    GridParameters,
+    SourceParameters,
+    SystemParameters,
+    TimeParameters,
+)
+
+
+class TestSystemParameters:
+    def test_defaults_are_valid(self):
+        params = SystemParameters()
+        assert params.mu > 0.0
+        assert params.c0 > 0.0
+        assert params.c1 > 0.0
+
+    def test_equilibrium_point_properties(self):
+        params = SystemParameters(mu=2.0, q_target=7.0)
+        assert params.equilibrium_rate == 2.0
+        assert params.equilibrium_queue == 7.0
+
+    def test_negative_mu_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemParameters(mu=-1.0)
+
+    def test_zero_mu_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemParameters(mu=0.0)
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemParameters(q_target=-1.0)
+
+    def test_non_positive_c0_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemParameters(c0=0.0)
+
+    def test_non_positive_c1_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemParameters(c1=-0.5)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemParameters(sigma=-0.1)
+
+    def test_with_sigma_returns_new_object(self):
+        params = SystemParameters(sigma=0.0)
+        noisy = params.with_sigma(0.3)
+        assert noisy.sigma == 0.3
+        assert params.sigma == 0.0
+        assert noisy.mu == params.mu
+
+    def test_with_rates_updates_only_given_values(self):
+        params = SystemParameters(c0=0.05, c1=0.2)
+        updated = params.with_rates(c0=0.1)
+        assert updated.c0 == 0.1
+        assert updated.c1 == 0.2
+
+    def test_frozen(self):
+        params = SystemParameters()
+        with pytest.raises(Exception):
+            params.mu = 3.0
+
+
+class TestGridParameters:
+    def test_spacing_properties(self):
+        grid = GridParameters(q_max=40.0, nq=80, v_min=-2.0, v_max=2.0, nv=100)
+        assert grid.dq == pytest.approx(0.5)
+        assert grid.dv == pytest.approx(0.04)
+
+    def test_rejects_tiny_grids(self):
+        with pytest.raises(ConfigurationError):
+            GridParameters(nq=2)
+        with pytest.raises(ConfigurationError):
+            GridParameters(nv=1)
+
+    def test_rejects_inverted_velocity_bounds(self):
+        with pytest.raises(ConfigurationError):
+            GridParameters(v_min=1.0, v_max=-1.0)
+
+    def test_rejects_non_positive_q_max(self):
+        with pytest.raises(ConfigurationError):
+            GridParameters(q_max=0.0)
+
+
+class TestTimeParameters:
+    def test_n_steps(self):
+        time_params = TimeParameters(t_end=10.0, dt=0.5)
+        assert time_params.n_steps == 20
+
+    def test_rejects_bad_cfl(self):
+        with pytest.raises(ConfigurationError):
+            TimeParameters(cfl=0.0)
+        with pytest.raises(ConfigurationError):
+            TimeParameters(cfl=1.5)
+
+    def test_rejects_non_positive_horizon(self):
+        with pytest.raises(ConfigurationError):
+            TimeParameters(t_end=0.0)
+
+    def test_rejects_non_positive_dt(self):
+        with pytest.raises(ConfigurationError):
+            TimeParameters(dt=0.0)
+
+    def test_rejects_zero_snapshot_interval(self):
+        with pytest.raises(ConfigurationError):
+            TimeParameters(snapshot_every=0)
+
+
+class TestSourceParameters:
+    def test_defaults_valid(self):
+        source = SourceParameters()
+        assert source.c0 > 0.0
+        assert source.delay == 0.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SourceParameters(delay=-1.0)
+
+    def test_negative_initial_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SourceParameters(initial_rate=-0.1)
+
+    def test_non_positive_gains_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SourceParameters(c0=0.0)
+        with pytest.raises(ConfigurationError):
+            SourceParameters(c1=0.0)
+
+
+class TestDelayParameters:
+    def test_defaults_valid(self):
+        assert DelayParameters().delay >= 0.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DelayParameters(delay=-0.5)
+
+    def test_non_positive_history_dt_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DelayParameters(history_dt=0.0)

@@ -1,0 +1,76 @@
+"""Unit tests for the JRJ (linear-increase / exponential-decrease) control law."""
+
+import numpy as np
+import pytest
+
+from repro import ConfigurationError, JRJControl, SystemParameters
+from repro.control.jrj import jrj_from_parameters
+
+
+class TestJRJControl:
+    def test_increase_below_target(self):
+        control = JRJControl(c0=0.05, c1=0.2, q_target=10.0)
+        assert control.drift(5.0, 1.0) == pytest.approx(0.05)
+        assert control.drift(0.0, 0.0) == pytest.approx(0.05)
+
+    def test_increase_at_target_boundary(self):
+        # Equation 2 uses Q <= q_target for the increase branch.
+        control = JRJControl(c0=0.05, c1=0.2, q_target=10.0)
+        assert control.drift(10.0, 1.0) == pytest.approx(0.05)
+
+    def test_exponential_decrease_above_target(self):
+        control = JRJControl(c0=0.05, c1=0.2, q_target=10.0)
+        assert control.drift(10.5, 2.0) == pytest.approx(-0.4)
+        assert control.drift(50.0, 0.5) == pytest.approx(-0.1)
+
+    def test_decrease_is_proportional_to_rate(self):
+        control = JRJControl(c0=0.05, c1=0.2, q_target=10.0)
+        assert control.drift(20.0, 4.0) == pytest.approx(
+            2.0 * control.drift(20.0, 2.0))
+
+    def test_vectorised_evaluation(self):
+        control = JRJControl(c0=0.1, c1=0.5, q_target=5.0)
+        queues = np.array([0.0, 5.0, 6.0, 10.0])
+        rates = np.array([1.0, 1.0, 2.0, 4.0])
+        drift = control.drift(queues, rates)
+        assert drift.shape == (4,)
+        assert np.allclose(drift, [0.1, 0.1, -1.0, -2.0])
+
+    def test_broadcasting_over_grid(self):
+        control = JRJControl(c0=0.1, c1=0.5, q_target=5.0)
+        queues = np.linspace(0.0, 10.0, 11)[:, None]
+        rates = np.linspace(0.5, 1.5, 3)[None, :]
+        drift = control.drift(queues, rates)
+        assert drift.shape == (11, 3)
+
+    def test_growth_coordinate_helper(self):
+        control = JRJControl(c0=0.05, c1=0.2, q_target=10.0)
+        mu = 1.0
+        # nu = 0.5 corresponds to lambda = 1.5.
+        assert control.drift_in_growth_coordinates(20.0, 0.5, mu) == \
+            pytest.approx(-0.2 * 1.5)
+
+    def test_scalar_inputs_return_scalars(self):
+        control = JRJControl(c0=0.05, c1=0.2, q_target=10.0)
+        assert isinstance(control.drift(1.0, 1.0), float)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            JRJControl(c0=0.0, c1=0.2, q_target=10.0)
+        with pytest.raises(ConfigurationError):
+            JRJControl(c0=0.05, c1=-0.2, q_target=10.0)
+        with pytest.raises(ConfigurationError):
+            JRJControl(c0=0.05, c1=0.2, q_target=-1.0)
+
+    def test_from_parameters_constructor(self):
+        params = SystemParameters(mu=1.0, q_target=7.0, c0=0.03, c1=0.4)
+        control = jrj_from_parameters(params)
+        assert control.c0 == 0.03
+        assert control.c1 == 0.4
+        assert control.q_target == 7.0
+
+    def test_describe_mentions_parameters(self):
+        control = JRJControl(c0=0.05, c1=0.2, q_target=10.0)
+        description = control.describe()
+        assert "0.05" in description
+        assert "0.2" in description

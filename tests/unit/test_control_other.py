@@ -1,0 +1,123 @@
+"""Unit tests for the linear, multiplicative and window control laws."""
+
+import numpy as np
+import pytest
+
+from repro import ConfigurationError, DECbitWindow, JacobsonWindow
+from repro.control.linear import (
+    AdditiveIncreaseAdditiveDecrease,
+    LinearIncreaseLinearDecrease,
+)
+from repro.control.multiplicative import (
+    LinearIncreaseMultiplicativeStepDecrease,
+    MultiplicativeIncreaseMultiplicativeDecrease,
+)
+
+
+class TestLinearIncreaseLinearDecrease:
+    def test_constant_drifts(self):
+        control = LinearIncreaseLinearDecrease(c0=0.1, d0=0.3, q_target=5.0)
+        assert control.drift(2.0, 1.0) == pytest.approx(0.1)
+        assert control.drift(9.0, 1.0) == pytest.approx(-0.3)
+
+    def test_decrease_independent_of_rate(self):
+        control = LinearIncreaseLinearDecrease(c0=0.1, d0=0.3, q_target=5.0)
+        assert control.drift(9.0, 0.1) == control.drift(9.0, 10.0)
+
+    def test_vectorised(self):
+        control = LinearIncreaseLinearDecrease(c0=0.1, d0=0.3, q_target=5.0)
+        drift = control.drift(np.array([1.0, 9.0]), np.array([1.0, 1.0]))
+        assert np.allclose(drift, [0.1, -0.3])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LinearIncreaseLinearDecrease(c0=0.0, d0=0.3, q_target=5.0)
+        with pytest.raises(ConfigurationError):
+            LinearIncreaseLinearDecrease(c0=0.1, d0=0.0, q_target=5.0)
+
+    def test_aiad_alias_behaves_identically(self):
+        linear = LinearIncreaseLinearDecrease(c0=0.1, d0=0.3, q_target=5.0)
+        aiad = AdditiveIncreaseAdditiveDecrease(c0=0.1, d0=0.3, q_target=5.0)
+        assert aiad.drift(2.0, 1.0) == linear.drift(2.0, 1.0)
+        assert aiad.drift(9.0, 1.0) == linear.drift(9.0, 1.0)
+        assert "additive" in aiad.describe()
+
+
+class TestMultiplicativeControls:
+    def test_mimd_drift_signs(self):
+        control = MultiplicativeIncreaseMultiplicativeDecrease(
+            increase_gain=0.1, decrease_gain=0.3, q_target=5.0)
+        assert control.drift(2.0, 2.0) == pytest.approx(0.2)
+        assert control.drift(9.0, 2.0) == pytest.approx(-0.6)
+
+    def test_mimd_scales_with_rate(self):
+        control = MultiplicativeIncreaseMultiplicativeDecrease(
+            increase_gain=0.1, decrease_gain=0.3, q_target=5.0)
+        assert control.drift(2.0, 4.0) == pytest.approx(2.0 * control.drift(2.0, 2.0))
+
+    def test_capped_decrease(self):
+        control = LinearIncreaseMultiplicativeStepDecrease(
+            c0=0.05, c1=0.5, q_target=5.0, max_decrease=0.4)
+        # Below the cap the decrease is -c1 * rate.
+        assert control.drift(9.0, 0.5) == pytest.approx(-0.25)
+        # Above the cap it saturates.
+        assert control.drift(9.0, 10.0) == pytest.approx(-0.4)
+
+    def test_capped_increase_side_unchanged(self):
+        control = LinearIncreaseMultiplicativeStepDecrease(
+            c0=0.05, c1=0.5, q_target=5.0, max_decrease=0.4)
+        assert control.drift(1.0, 10.0) == pytest.approx(0.05)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MultiplicativeIncreaseMultiplicativeDecrease(0.0, 0.3, 5.0)
+        with pytest.raises(ConfigurationError):
+            LinearIncreaseMultiplicativeStepDecrease(0.05, 0.5, 5.0, 0.0)
+
+
+class TestJacobsonWindow:
+    def test_congestion_avoidance_increase(self):
+        control = JacobsonWindow(increase=1.0, decrease_factor=0.5)
+        assert control.on_ack(10.0) == pytest.approx(10.1)
+
+    def test_slow_start_doubles_per_window(self):
+        control = JacobsonWindow(increase=1.0, decrease_factor=0.5,
+                                 slow_start_threshold=8.0)
+        assert control.on_ack(4.0) == pytest.approx(5.0)
+        assert control.on_ack(9.0) == pytest.approx(9.0 + 1.0 / 9.0)
+
+    def test_multiplicative_decrease(self):
+        control = JacobsonWindow(decrease_factor=0.5)
+        assert control.on_congestion(10.0) == pytest.approx(5.0)
+
+    def test_window_never_below_one(self):
+        control = JacobsonWindow(decrease_factor=0.5)
+        assert control.on_congestion(1.2) == pytest.approx(1.0)
+
+    def test_max_window_cap(self):
+        control = JacobsonWindow(increase=1.0, max_window=12.0)
+        assert control.on_ack(12.0) == pytest.approx(12.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            JacobsonWindow(decrease_factor=1.5)
+        with pytest.raises(ConfigurationError):
+            JacobsonWindow(increase=0.0)
+
+
+class TestDECbitWindow:
+    def test_additive_increase(self):
+        control = DECbitWindow(increase=1.0)
+        assert control.on_ack(5.0) == pytest.approx(6.0)
+
+    def test_decrease_factor_default(self):
+        control = DECbitWindow()
+        assert control.on_congestion(8.0) == pytest.approx(7.0)
+
+    def test_window_floor(self):
+        control = DECbitWindow(decrease_factor=0.5)
+        assert control.on_congestion(1.0) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DECbitWindow(decrease_factor=0.0)

@@ -1,0 +1,52 @@
+"""Unit tests for the control-law registry."""
+
+import pytest
+
+from repro import ConfigurationError, JRJControl, available_controls, create_control
+from repro.control.base import RateControl
+from repro.control.registry import register_control
+
+
+class TestRegistry:
+    def test_builtin_names_present(self):
+        names = available_controls()
+        assert "jrj" in names
+        assert "linear" in names
+        assert "mimd" in names
+
+    def test_create_jrj_by_name(self):
+        control = create_control("jrj", c0=0.05, c1=0.2, q_target=10.0)
+        assert isinstance(control, JRJControl)
+        assert control.drift(0.0, 1.0) == pytest.approx(0.05)
+
+    def test_create_is_case_insensitive(self):
+        control = create_control("JRJ", c0=0.05, c1=0.2, q_target=10.0)
+        assert isinstance(control, JRJControl)
+
+    def test_unknown_name_raises_with_suggestions(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            create_control("does-not-exist")
+        assert "available" in str(excinfo.value)
+
+    def test_register_custom_control(self):
+        class ConstantControl(RateControl):
+            def drift(self, queue_length, rate):
+                return 0.0
+
+        register_control("test-constant-control", ConstantControl,
+                         overwrite=True)
+        control = create_control("test-constant-control")
+        assert control.drift(3.0, 1.0) == 0.0
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_control("jrj", JRJControl)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_control("   ", JRJControl)
+
+    def test_linear_exponential_alias_maps_to_jrj(self):
+        control = create_control("linear-exponential", c0=0.1, c1=0.3,
+                                 q_target=5.0)
+        assert isinstance(control, JRJControl)

@@ -1,0 +1,127 @@
+"""Unit tests for the finite-volume advection steps of the FP solver."""
+
+import numpy as np
+import pytest
+
+from repro.core.advection import cfl_time_step, upwind_advect_q, upwind_advect_v
+from repro.exceptions import StabilityError
+from repro.numerics.grids import PhaseGrid2D, UniformGrid1D
+
+
+@pytest.fixture
+def grid():
+    return PhaseGrid2D(UniformGrid1D(0.0, 10.0, 50), UniformGrid1D(-1.0, 1.0, 20))
+
+
+def _blob(grid, q_center, v_center):
+    return grid.gaussian_density(q_center, v_center, 0.8, 0.15)
+
+
+class TestCFLTimeStep:
+    def test_respects_maximum_dt(self, grid):
+        drift = np.zeros(grid.shape)
+        dt = cfl_time_step(grid, drift, cfl=0.5, max_dt=0.01)
+        assert dt == pytest.approx(0.01)
+
+    def test_limits_by_velocity(self, grid):
+        drift = np.zeros(grid.shape)
+        dt = cfl_time_step(grid, drift, cfl=0.5, max_dt=10.0)
+        max_speed = np.max(np.abs(grid.v_centers))
+        assert dt == pytest.approx(0.5 * grid.dq / max_speed)
+
+    def test_limits_by_drift(self, grid):
+        drift = np.full(grid.shape, 5.0)
+        dt = cfl_time_step(grid, drift, cfl=0.5, max_dt=10.0)
+        assert dt <= 0.5 * grid.dv / 5.0 + 1e-12
+
+
+class TestUpwindAdvectQ:
+    def test_conserves_mass_with_reflecting_boundary(self, grid):
+        density = _blob(grid, 5.0, 0.0)
+        mass_before = grid.total_mass(density)
+        dt = cfl_time_step(grid, np.zeros(grid.shape), 0.9, 0.05)
+        updated = upwind_advect_q(density, grid, dt)
+        # Mass only leaves through q = q_max; a centred blob loses only the
+        # (negligible) Gaussian tail already sitting at that edge.
+        assert grid.total_mass(updated) == pytest.approx(mass_before, rel=1e-9)
+
+    def test_positive_velocity_moves_mass_right(self, grid):
+        density = _blob(grid, 3.0, 0.5)
+        dt = 0.05
+        updated = density.copy()
+        for _ in range(40):
+            updated = upwind_advect_q(updated, grid, dt)
+        q_mesh, _ = grid.meshgrid()
+        mean_before = np.sum(q_mesh * density) / np.sum(density)
+        mean_after = np.sum(q_mesh * updated) / np.sum(updated)
+        assert mean_after > mean_before + 0.3
+
+    def test_negative_velocity_moves_mass_left(self, grid):
+        density = _blob(grid, 7.0, -0.5)
+        updated = density.copy()
+        for _ in range(40):
+            updated = upwind_advect_q(updated, grid, 0.05)
+        q_mesh, _ = grid.meshgrid()
+        mean_before = np.sum(q_mesh * density) / np.sum(density)
+        mean_after = np.sum(q_mesh * updated) / np.sum(updated)
+        assert mean_after < mean_before - 0.3
+
+    def test_reflecting_boundary_keeps_mass_non_negative_queue(self, grid):
+        # Mass pushed against q = 0 must not leak out.
+        density = _blob(grid, 0.5, -0.8)
+        updated = density.copy()
+        for _ in range(100):
+            updated = upwind_advect_q(updated, grid, 0.05)
+        assert grid.total_mass(updated) == pytest.approx(1.0, rel=1e-10)
+        assert np.all(updated >= 0.0)
+
+    def test_cfl_violation_raises(self, grid):
+        density = _blob(grid, 5.0, 0.0)
+        with pytest.raises(StabilityError):
+            upwind_advect_q(density, grid, dt=10.0)
+
+    def test_result_non_negative(self, grid):
+        density = _blob(grid, 5.0, 0.3)
+        updated = upwind_advect_q(density, grid, 0.05)
+        assert np.all(updated >= 0.0)
+
+
+class TestUpwindAdvectV:
+    def test_conserves_mass(self, grid):
+        density = _blob(grid, 5.0, 0.0)
+        drift = np.full(grid.shape, 0.3)
+        dt = 0.05
+        updated = upwind_advect_v(density, grid, drift, dt)
+        assert grid.total_mass(updated) == pytest.approx(1.0, rel=1e-12)
+
+    def test_positive_drift_moves_mass_up(self, grid):
+        density = _blob(grid, 5.0, -0.3)
+        drift = np.full(grid.shape, 0.5)
+        updated = density.copy()
+        for _ in range(30):
+            updated = upwind_advect_v(updated, grid, drift, 0.05)
+        _, v_mesh = grid.meshgrid()
+        mean_before = np.sum(v_mesh * density) / np.sum(density)
+        mean_after = np.sum(v_mesh * updated) / np.sum(updated)
+        assert mean_after > mean_before + 0.2
+
+    def test_negative_drift_moves_mass_down(self, grid):
+        density = _blob(grid, 5.0, 0.3)
+        drift = np.full(grid.shape, -0.5)
+        updated = density.copy()
+        for _ in range(30):
+            updated = upwind_advect_v(updated, grid, drift, 0.05)
+        _, v_mesh = grid.meshgrid()
+        assert (np.sum(v_mesh * updated) / np.sum(updated)
+                < np.sum(v_mesh * density) / np.sum(density) - 0.2)
+
+    def test_shape_mismatch_raises(self, grid):
+        density = _blob(grid, 5.0, 0.0)
+        with pytest.raises(StabilityError):
+            upwind_advect_v(density, grid, np.zeros((3, 3)), 0.05)
+
+    def test_cfl_violation_raises(self, grid):
+        density = _blob(grid, 5.0, 0.0)
+        drift = np.full(grid.shape, 100.0)
+        with pytest.raises(StabilityError):
+            upwind_advect_v(density, grid, drift, 0.5)

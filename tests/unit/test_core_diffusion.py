@@ -1,0 +1,72 @@
+"""Unit tests for the Crank-Nicolson diffusion step."""
+
+import numpy as np
+import pytest
+
+from repro.core.diffusion import crank_nicolson_diffuse_q
+from repro.numerics.grids import PhaseGrid2D, UniformGrid1D
+
+
+@pytest.fixture
+def grid():
+    return PhaseGrid2D(UniformGrid1D(0.0, 20.0, 100), UniformGrid1D(-1.0, 1.0, 4))
+
+
+class TestCrankNicolsonDiffusion:
+    def test_zero_sigma_is_identity(self, grid):
+        density = grid.gaussian_density(10.0, 0.0, 1.0, 0.3)
+        updated = crank_nicolson_diffuse_q(density, grid, sigma=0.0, dt=0.1)
+        assert np.array_equal(updated, density)
+
+    def test_conserves_mass(self, grid):
+        density = grid.gaussian_density(10.0, 0.0, 1.0, 0.3)
+        updated = density.copy()
+        for _ in range(50):
+            updated = crank_nicolson_diffuse_q(updated, grid, sigma=0.5, dt=0.1)
+        assert grid.total_mass(updated) == pytest.approx(1.0, rel=1e-10)
+
+    def test_variance_grows_at_sigma_squared_rate(self, grid):
+        # For pure diffusion Var[Q](t) = Var[Q](0) + sigma^2 * t.
+        sigma = 0.4
+        dt = 0.05
+        n_steps = 200
+        density = grid.gaussian_density(10.0, 0.0, 1.0, 0.3)
+        q_mesh, _ = grid.meshgrid()
+
+        def variance(d):
+            weight = d * grid.cell_area
+            weight = weight / np.sum(weight)
+            mean = np.sum(q_mesh * weight)
+            return np.sum((q_mesh - mean) ** 2 * weight)
+
+        initial_variance = variance(density)
+        updated = density.copy()
+        for _ in range(n_steps):
+            updated = crank_nicolson_diffuse_q(updated, grid, sigma, dt)
+        expected = initial_variance + sigma ** 2 * n_steps * dt
+        assert variance(updated) == pytest.approx(expected, rel=0.05)
+
+    def test_mean_preserved_in_interior(self, grid):
+        density = grid.gaussian_density(10.0, 0.0, 1.0, 0.3)
+        q_mesh, _ = grid.meshgrid()
+        updated = density.copy()
+        for _ in range(20):
+            updated = crank_nicolson_diffuse_q(updated, grid, 0.3, 0.1)
+        mean_before = np.sum(q_mesh * density) / np.sum(density)
+        mean_after = np.sum(q_mesh * updated) / np.sum(updated)
+        assert mean_after == pytest.approx(mean_before, abs=0.05)
+
+    def test_smooths_sharp_peak(self, grid):
+        density = np.zeros(grid.shape)
+        density[50, :] = 1.0
+        density = grid.normalize(density)
+        updated = crank_nicolson_diffuse_q(density, grid, sigma=1.0, dt=0.5)
+        assert np.max(updated) < np.max(density)
+        assert np.all(updated >= 0.0)
+
+    def test_large_dt_remains_stable(self, grid):
+        # Crank-Nicolson is unconditionally stable; a huge step must not blow up.
+        density = grid.gaussian_density(10.0, 0.0, 1.0, 0.3)
+        updated = crank_nicolson_diffuse_q(density, grid, sigma=1.0, dt=50.0)
+        assert np.all(np.isfinite(updated))
+        assert grid.total_mass(updated) == pytest.approx(1.0, rel=1e-8)

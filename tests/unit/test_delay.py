@@ -1,0 +1,150 @@
+"""Unit tests for the delayed-feedback machinery (Section 7)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DelayedSystem,
+    JRJControl,
+    SourceParameters,
+    SystemParameters,
+    delay_sweep,
+    heterogeneous_delay_experiment,
+    measure_oscillation,
+)
+from repro.delay.round_trip import (
+    RoundTripUpdateModel,
+    predicted_round_trip_shares,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestDelayedSystem:
+    def test_zero_delay_matches_undelayed_characteristic(self, canonical_params,
+                                                         jrj_control):
+        from repro import integrate_characteristic
+
+        delayed = DelayedSystem(jrj_control, canonical_params, delay=0.0)
+        delayed_trajectory = delayed.solve(0.0, 0.5, t_end=100.0, dt=0.02)
+        plain = integrate_characteristic(jrj_control, canonical_params,
+                                         q0=0.0, rate0=0.5, t_end=100.0,
+                                         dt=0.02)
+        assert np.allclose(delayed_trajectory.queue, plain.queue, atol=0.05)
+        assert np.allclose(delayed_trajectory.rate, plain.rate, atol=0.02)
+
+    def test_negative_delay_rejected(self, canonical_params, jrj_control):
+        with pytest.raises(ValueError):
+            DelayedSystem(jrj_control, canonical_params, delay=-1.0)
+
+    def test_state_stays_non_negative(self, canonical_params, jrj_control):
+        system = DelayedSystem(jrj_control, canonical_params, delay=5.0)
+        trajectory = system.solve(0.0, 0.5, t_end=300.0, dt=0.05)
+        assert np.all(trajectory.queue >= 0.0)
+        assert np.all(trajectory.rate >= 0.0)
+
+    def test_delay_recorded_on_trajectory(self, canonical_params, jrj_control):
+        system = DelayedSystem(jrj_control, canonical_params, delay=3.0)
+        trajectory = system.solve(0.0, 0.5, t_end=50.0)
+        assert trajectory.delay == 3.0
+
+
+class TestOscillationMeasurement:
+    def test_no_delay_converges(self, canonical_params, jrj_control):
+        trajectory = DelayedSystem(jrj_control, canonical_params, 0.0).solve(
+            0.0, 0.5, t_end=600.0, dt=0.05)
+        summary = measure_oscillation(trajectory)
+        assert not summary.sustained
+        assert summary.queue_amplitude < 0.1
+
+    def test_delay_induces_sustained_oscillation(self, canonical_params,
+                                                 jrj_control):
+        trajectory = DelayedSystem(jrj_control, canonical_params, 4.0).solve(
+            0.0, 0.5, t_end=600.0, dt=0.05)
+        summary = measure_oscillation(trajectory)
+        assert summary.sustained
+        assert summary.queue_amplitude > 1.0
+        assert summary.period > 0.0
+
+    def test_amplitude_grows_with_delay(self, canonical_params, jrj_control):
+        summaries = delay_sweep(jrj_control, canonical_params,
+                                delays=[1.0, 4.0, 8.0], t_end=600.0, dt=0.05)
+        amplitudes = [summary.queue_amplitude for summary in summaries]
+        assert amplitudes[0] < amplitudes[1] < amplitudes[2]
+
+    def test_period_grows_with_delay(self, canonical_params, jrj_control):
+        summaries = delay_sweep(jrj_control, canonical_params,
+                                delays=[2.0, 8.0], t_end=600.0, dt=0.05)
+        assert summaries[0].period < summaries[1].period
+
+    def test_sweep_preserves_delay_labels(self, canonical_params, jrj_control):
+        delays = [0.0, 2.0]
+        summaries = delay_sweep(jrj_control, canonical_params, delays,
+                                t_end=300.0, dt=0.05)
+        assert [summary.delay for summary in summaries] == delays
+
+
+class TestHeterogeneousDelays:
+    def test_experiment_structure(self, canonical_params):
+        result = heterogeneous_delay_experiment(canonical_params,
+                                                delays=[0.5, 4.0],
+                                                t_end=300.0, dt=0.05)
+        assert result.delays.tolist() == [0.5, 4.0]
+        assert result.throughputs.shape == (2,)
+        assert np.sum(result.shares) == pytest.approx(1.0)
+        assert 0.0 < result.jain_index <= 1.0
+
+    def test_total_throughput_matches_capacity(self, canonical_params):
+        result = heterogeneous_delay_experiment(canonical_params,
+                                                delays=[0.5, 4.0],
+                                                t_end=600.0, dt=0.05)
+        assert np.sum(result.throughputs) == pytest.approx(
+            canonical_params.mu, rel=0.1)
+
+    def test_pure_phase_lag_produces_only_mild_imbalance(self, canonical_params):
+        # With multiplicative decrease the delayed rate waveform is only
+        # phase-shifted, so the continuous model predicts near-equal shares;
+        # the strong unfairness needs the per-round-trip update granularity
+        # (tested below).  This documents the distinction.
+        result = heterogeneous_delay_experiment(canonical_params,
+                                                delays=[0.5, 4.0],
+                                                t_end=600.0, dt=0.05)
+        assert result.jain_index > 0.98
+
+
+class TestRoundTripUpdateModel:
+    def _sources(self, delays):
+        return [SourceParameters(c0=0.05, c1=0.2, delay=delay,
+                                 initial_rate=0.3, name=f"delay-{delay:g}")
+                for delay in delays]
+
+    def test_requires_positive_delays(self, canonical_params):
+        with pytest.raises(ConfigurationError):
+            RoundTripUpdateModel(self._sources([0.0, 1.0]), canonical_params)
+
+    def test_longer_delay_gets_less_throughput(self, canonical_params):
+        model = RoundTripUpdateModel(self._sources([0.5, 2.0]), canonical_params)
+        result = model.run(t_end=1500.0, dt=0.05)
+        assert result.throughput_ratio_long_to_short < 0.7
+        assert result.jain_index < 0.95
+
+    def test_observed_shares_match_prediction(self, canonical_params):
+        sources = self._sources([0.5, 2.0])
+        model = RoundTripUpdateModel(sources, canonical_params)
+        result = model.run(t_end=2000.0, dt=0.05)
+        assert np.allclose(result.shares, result.predicted_shares, atol=0.05)
+
+    def test_predicted_shares_inverse_in_delay(self):
+        sources = self._sources([1.0, 2.0])
+        shares = predicted_round_trip_shares(sources)
+        assert shares[0] == pytest.approx(2.0 / 3.0)
+        assert shares[1] == pytest.approx(1.0 / 3.0)
+
+    def test_equal_delays_are_fair(self, canonical_params):
+        model = RoundTripUpdateModel(self._sources([1.0, 1.0]), canonical_params)
+        result = model.run(t_end=1500.0, dt=0.05)
+        assert result.jain_index > 0.999
+
+    def test_queue_stays_non_negative(self, canonical_params):
+        model = RoundTripUpdateModel(self._sources([0.5, 2.0]), canonical_params)
+        result = model.run(t_end=500.0, dt=0.05)
+        assert np.all(result.trajectory.queue >= 0.0)

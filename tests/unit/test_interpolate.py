@@ -1,0 +1,71 @@
+"""Unit tests for the interpolation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.numerics.interpolate import (
+    Interpolant1D,
+    bilinear_interpolate,
+    linear_interpolate,
+)
+
+
+class TestLinearInterpolate:
+    def test_interior_point(self):
+        xs = np.array([0.0, 1.0, 2.0])
+        ys = np.array([0.0, 10.0, 20.0])
+        assert linear_interpolate(0.5, xs, ys) == pytest.approx(5.0)
+        assert linear_interpolate(1.25, xs, ys) == pytest.approx(12.5)
+
+    def test_clamps_outside_range(self):
+        xs = np.array([0.0, 1.0])
+        ys = np.array([3.0, 7.0])
+        assert linear_interpolate(-5.0, xs, ys) == 3.0
+        assert linear_interpolate(5.0, xs, ys) == 7.0
+
+    def test_exact_at_nodes(self):
+        xs = np.array([0.0, 0.5, 2.0])
+        ys = np.array([1.0, -1.0, 4.0])
+        for x, y in zip(xs, ys):
+            assert linear_interpolate(float(x), xs, ys) == pytest.approx(y)
+
+    def test_single_sample(self):
+        assert linear_interpolate(3.0, np.array([1.0]), np.array([9.0])) == 9.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            linear_interpolate(0.0, np.array([]), np.array([]))
+
+
+class TestBilinearInterpolate:
+    def test_recovers_bilinear_function(self):
+        q_centers = np.linspace(0.0, 4.0, 5)
+        v_centers = np.linspace(-1.0, 1.0, 5)
+        q, v = np.meshgrid(q_centers, v_centers, indexing="ij")
+        values = 2.0 * q + 3.0 * v + 1.0
+        assert bilinear_interpolate(2.3, 0.1, q_centers, v_centers, values) == \
+            pytest.approx(2.0 * 2.3 + 3.0 * 0.1 + 1.0)
+
+    def test_clamps_at_edges(self):
+        q_centers = np.array([0.0, 1.0])
+        v_centers = np.array([0.0, 1.0])
+        values = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert bilinear_interpolate(-1.0, -1.0, q_centers, v_centers, values) == 1.0
+        assert bilinear_interpolate(9.0, 9.0, q_centers, v_centers, values) == 4.0
+
+
+class TestInterpolant1D:
+    def test_callable_and_vectorized_agree(self):
+        interp = Interpolant1D(np.array([0.0, 1.0, 2.0]), np.array([0.0, 2.0, 0.0]))
+        points = np.array([0.25, 0.5, 1.75])
+        vector = interp.vectorized(points)
+        scalar = np.array([interp(float(p)) for p in points])
+        assert np.allclose(vector, scalar)
+
+    def test_rejects_decreasing_abscissae(self):
+        with pytest.raises(ValueError):
+            Interpolant1D(np.array([1.0, 0.0]), np.array([0.0, 1.0]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            Interpolant1D(np.array([0.0, 1.0]), np.array([0.0]))

@@ -1,0 +1,95 @@
+"""Unit tests for the aggregate-reduction multi-source Fokker-Planck solver."""
+
+import numpy as np
+import pytest
+
+from repro import GridParameters, MultiSourceModel, SystemParameters, TimeParameters
+from repro.config import SourceParameters
+from repro.exceptions import ConfigurationError
+from repro.multisource import AggregateControl, MultiSourceFokkerPlanck
+
+
+def _sources(*c0_values, c1=0.2, initial_rate=0.2):
+    return [SourceParameters(c0=c0, c1=c1, initial_rate=initial_rate,
+                             name=f"s{i}")
+            for i, c0 in enumerate(c0_values)]
+
+
+@pytest.fixture
+def grid():
+    return GridParameters(q_max=30.0, nq=60, v_min=-1.2, v_max=1.2, nv=48)
+
+
+class TestAggregateControl:
+    def test_increase_is_sum_of_increases(self):
+        control = AggregateControl(_sources(0.05, 0.1), q_target=10.0)
+        assert control.drift(0.0, 1.0) == pytest.approx(0.15)
+
+    def test_decrease_uses_share_weighted_c1(self):
+        sources = [SourceParameters(c0=0.05, c1=0.2),
+                   SourceParameters(c0=0.05, c1=0.4)]
+        control = AggregateControl(sources, q_target=10.0)
+        # shares are 2/3 and 1/3, so effective C1 = 0.2*2/3 + 0.4*1/3 = 4/15.
+        assert control.drift(20.0, 3.0) == pytest.approx(-3.0 * 4.0 / 15.0)
+
+    def test_identical_sources_reduce_to_scaled_jrj(self):
+        control = AggregateControl(_sources(0.05, 0.05), q_target=10.0)
+        assert control.drift(0.0, 1.0) == pytest.approx(0.1)
+        assert control.drift(20.0, 1.0) == pytest.approx(-0.2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AggregateControl([], q_target=10.0)
+
+
+class TestMultiSourceFokkerPlanck:
+    def test_aggregate_density_settles_near_target(self, grid):
+        params = SystemParameters(mu=1.0, q_target=10.0, c0=0.05, c1=0.2,
+                                  sigma=0.3)
+        solver = MultiSourceFokkerPlanck(_sources(0.05, 0.05, 0.05), params,
+                                         grid_params=grid)
+        result = solver.solve(
+            time_params=TimeParameters(t_end=200.0, dt=1.0, snapshot_every=20))
+        assert abs(result.aggregate.final_moments.mean_q - 10.0) < 4.0
+        assert result.aggregate.final_moments.mass == pytest.approx(1.0,
+                                                                    abs=1e-6)
+
+    def test_final_source_rates_follow_shares(self, grid):
+        params = SystemParameters(mu=1.0, q_target=10.0, c0=0.05, c1=0.2,
+                                  sigma=0.2)
+        sources = _sources(0.05, 0.1)
+        solver = MultiSourceFokkerPlanck(sources, params, grid_params=grid)
+        result = solver.solve(
+            time_params=TimeParameters(t_end=250.0, dt=1.0, snapshot_every=25))
+        final_rates = result.final_source_rates()
+        # The aggregate rate is ~mu and the split follows the 1:2 share ratio.
+        assert np.sum(final_rates) == pytest.approx(params.mu, abs=0.2)
+        assert final_rates[1] / final_rates[0] == pytest.approx(2.0, rel=0.05)
+
+    def test_aggregate_matches_coupled_ode_model(self, grid):
+        params = SystemParameters(mu=1.0, q_target=10.0, c0=0.05, c1=0.2,
+                                  sigma=0.0)
+        sources = _sources(0.05, 0.1)
+        fp = MultiSourceFokkerPlanck(sources, params, grid_params=grid).solve(
+            time_params=TimeParameters(t_end=250.0, dt=1.0, snapshot_every=25))
+        ode = MultiSourceModel(sources, params).solve(t_end=250.0, dt=0.05)
+        ode_aggregate_tail = float(np.mean(
+            ode.aggregate_rate[-ode.times.size // 5:]))
+        fp_aggregate_final = float(fp.mean_aggregate_rate()[-1])
+        assert fp_aggregate_final == pytest.approx(ode_aggregate_tail, abs=0.15)
+
+    def test_initial_rates_length_validated(self, grid):
+        params = SystemParameters(mu=1.0, q_target=10.0, c0=0.05, c1=0.2)
+        solver = MultiSourceFokkerPlanck(_sources(0.05, 0.05), params,
+                                         grid_params=grid)
+        with pytest.raises(ConfigurationError):
+            solver.solve(initial_rates=[0.2])
+
+    def test_mean_source_rates_shape(self, grid):
+        params = SystemParameters(mu=1.0, q_target=10.0, c0=0.05, c1=0.2)
+        solver = MultiSourceFokkerPlanck(_sources(0.05, 0.05, 0.05), params,
+                                         grid_params=grid)
+        result = solver.solve(
+            time_params=TimeParameters(t_end=40.0, dt=1.0, snapshot_every=10))
+        rates = result.mean_source_rates()
+        assert rates.shape == (len(result.aggregate.snapshots), 3)

@@ -1,0 +1,46 @@
+"""Unit tests for the scalar root finders."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConvergenceError
+from repro.numerics.rootfind import bisect, newton
+
+
+class TestBisect:
+    def test_finds_root_of_polynomial(self):
+        root = bisect(lambda x: x ** 3 - 2.0, 0.0, 2.0)
+        assert root == pytest.approx(2.0 ** (1.0 / 3.0), abs=1e-9)
+
+    def test_endpoint_root_returned_immediately(self):
+        assert bisect(lambda x: x, 0.0, 1.0) == 0.0
+        assert bisect(lambda x: x - 1.0, 0.0, 1.0) == 1.0
+
+    def test_no_sign_change_raises(self):
+        with pytest.raises(ConvergenceError):
+            bisect(lambda x: x ** 2 + 1.0, -1.0, 1.0)
+
+    def test_transcendental_equation(self):
+        root = bisect(lambda x: np.cos(x) - x, 0.0, 1.0)
+        assert np.cos(root) == pytest.approx(root, abs=1e-9)
+
+
+class TestNewton:
+    def test_with_analytic_derivative(self):
+        root = newton(lambda x: x ** 2 - 4.0, x0=3.0,
+                      derivative=lambda x: 2.0 * x)
+        assert root == pytest.approx(2.0, abs=1e-9)
+
+    def test_with_numeric_derivative(self):
+        root = newton(lambda x: np.exp(x) - 2.0, x0=1.0)
+        assert root == pytest.approx(np.log(2.0), abs=1e-8)
+
+    def test_zero_derivative_raises(self):
+        with pytest.raises(ConvergenceError):
+            newton(lambda x: 1.0 + x * 0.0, x0=0.0,
+                   derivative=lambda x: 0.0)
+
+    def test_agrees_with_bisect(self):
+        func = lambda x: x ** 3 - x - 2.0
+        assert newton(func, x0=1.5) == pytest.approx(
+            bisect(func, 1.0, 2.0), abs=1e-8)

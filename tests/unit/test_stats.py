@@ -1,0 +1,90 @@
+"""Unit tests for the streaming statistics and empirical densities."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AnalysisError
+from repro.numerics.stats import (
+    RunningStatistics,
+    WeightedStatistics,
+    empirical_density,
+)
+
+
+class TestRunningStatistics:
+    def test_matches_numpy(self, rng):
+        samples = rng.normal(3.0, 2.0, 500)
+        stats = RunningStatistics()
+        stats.update_many(samples)
+        assert stats.count == 500
+        assert stats.mean == pytest.approx(np.mean(samples))
+        assert stats.variance == pytest.approx(np.var(samples, ddof=1))
+        assert stats.std == pytest.approx(np.std(samples, ddof=1))
+        assert stats.minimum == pytest.approx(np.min(samples))
+        assert stats.maximum == pytest.approx(np.max(samples))
+
+    def test_empty_statistics(self):
+        stats = RunningStatistics()
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.variance == 0.0
+
+    def test_single_sample(self):
+        stats = RunningStatistics()
+        stats.update(7.0)
+        assert stats.mean == 7.0
+        assert stats.variance == 0.0
+
+
+class TestWeightedStatistics:
+    def test_uniform_weights_match_plain_mean(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        stats = WeightedStatistics()
+        for value in values:
+            stats.update(value, 1.0)
+        assert stats.mean == pytest.approx(np.mean(values))
+        assert stats.variance == pytest.approx(np.var(values))
+
+    def test_time_average_semantics(self):
+        # Value 0 for 9 time units, value 10 for 1 time unit -> average 1.
+        stats = WeightedStatistics()
+        stats.update(0.0, 9.0)
+        stats.update(10.0, 1.0)
+        assert stats.total_weight == 10.0
+        assert stats.mean == pytest.approx(1.0)
+
+    def test_zero_weight_ignored(self):
+        stats = WeightedStatistics()
+        stats.update(100.0, 0.0)
+        assert stats.mean == 0.0
+        assert stats.total_weight == 0.0
+
+    def test_negative_weight_rejected(self):
+        stats = WeightedStatistics()
+        with pytest.raises(AnalysisError):
+            stats.update(1.0, -1.0)
+
+
+class TestEmpiricalDensity:
+    def test_density_integrates_to_one(self, rng):
+        samples = rng.normal(5.0, 1.0, 10000)
+        edges = np.linspace(0.0, 10.0, 51)
+        centers, density = empirical_density(samples, edges)
+        assert centers.size == 50
+        widths = np.diff(edges)
+        assert np.sum(density * widths) == pytest.approx(1.0, rel=1e-6)
+
+    def test_matches_gaussian_shape(self, rng):
+        samples = rng.normal(0.0, 1.0, 50000)
+        edges = np.linspace(-4.0, 4.0, 81)
+        centers, density = empirical_density(samples, edges)
+        expected = np.exp(-0.5 * centers ** 2) / np.sqrt(2.0 * np.pi)
+        assert np.max(np.abs(density - expected)) < 0.03
+
+    def test_no_samples_in_range_raises(self):
+        with pytest.raises(AnalysisError):
+            empirical_density(np.array([100.0]), np.linspace(0.0, 1.0, 5))
+
+    def test_too_few_edges_raises(self):
+        with pytest.raises(AnalysisError):
+            empirical_density(np.array([0.5]), np.array([0.0]))

@@ -1,0 +1,101 @@
+"""Unit tests for the Langevin model and ensemble comparison."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    FokkerPlanckSolver,
+    GridParameters,
+    JRJControl,
+    LangevinModel,
+    SystemParameters,
+    TimeParameters,
+    compare_with_density,
+    run_ensemble,
+)
+from repro.exceptions import AnalysisError
+
+
+class TestLangevinModel:
+    def test_zero_sigma_reduces_to_characteristic(self, canonical_params,
+                                                  jrj_control, rng):
+        model = LangevinModel(jrj_control, canonical_params)
+        paths = model.simulate(q0=0.0, rate0=0.5, t_end=100.0, dt=0.02,
+                               n_paths=5, rng=rng)
+        # All particles follow the same deterministic path.
+        spread = np.max(paths.final_states[:, 0]) - np.min(paths.final_states[:, 0])
+        assert spread < 1e-9
+
+    def test_paths_stay_non_negative(self, noisy_params, jrj_control, rng):
+        model = LangevinModel(jrj_control, noisy_params)
+        paths = model.simulate(q0=0.0, rate0=0.5, t_end=50.0, dt=0.02,
+                               n_paths=200, rng=rng)
+        assert np.all(paths.paths >= 0.0)
+
+    def test_positive_sigma_spreads_the_ensemble(self, noisy_params,
+                                                 jrj_control, rng):
+        model = LangevinModel(jrj_control, noisy_params)
+        paths = model.simulate(q0=0.0, rate0=0.5, t_end=60.0, dt=0.02,
+                               n_paths=500, rng=rng)
+        assert np.std(paths.final_states[:, 0]) > 0.5
+
+    def test_negative_delay_rejected(self, canonical_params, jrj_control):
+        with pytest.raises(ValueError):
+            LangevinModel(jrj_control, canonical_params, feedback_delay=-1.0)
+
+    def test_delayed_particles_keep_oscillating(self, canonical_params,
+                                                jrj_control, rng):
+        model = LangevinModel(jrj_control, canonical_params, feedback_delay=5.0)
+        paths = model.simulate(q0=0.0, rate0=0.5, t_end=300.0, dt=0.02,
+                               n_paths=20, rng=rng)
+        queue_mean = paths.mean(0)
+        tail = queue_mean[-int(0.3 * queue_mean.size):]
+        assert np.max(tail) - np.min(tail) > 2.0
+
+
+class TestEnsembleHelpers:
+    def test_run_ensemble_summary_properties(self, noisy_params, jrj_control,
+                                             rng):
+        ensemble = run_ensemble(jrj_control, noisy_params, q0=0.0, rate0=0.5,
+                                t_end=40.0, dt=0.02, n_paths=300, rng=rng)
+        assert ensemble.times[-1] == pytest.approx(40.0, abs=0.1)
+        assert ensemble.mean_queue.shape == ensemble.times.shape
+        assert ensemble.std_queue.shape == ensemble.times.shape
+        assert 0.0 <= ensemble.overflow_probability(5.0) <= 1.0
+
+    def test_final_queue_density_normalised(self, noisy_params, jrj_control,
+                                            rng):
+        ensemble = run_ensemble(jrj_control, noisy_params, q0=0.0, rate0=0.5,
+                                t_end=40.0, dt=0.02, n_paths=500, rng=rng)
+        edges = np.linspace(0.0, 30.0, 31)
+        centers, density = ensemble.final_queue_density(edges)
+        assert np.sum(density) * (edges[1] - edges[0]) == pytest.approx(1.0,
+                                                                        rel=1e-6)
+
+    def test_compare_with_density_requires_matching_horizon(self, noisy_params,
+                                                            jrj_control, rng):
+        grid = GridParameters(q_max=30.0, nq=60, v_min=-1.2, v_max=1.2, nv=48)
+        solver = FokkerPlanckSolver(noisy_params, jrj_control, grid_params=grid)
+        fp = solver.solve_from_point(0.0, 0.5,
+                                     TimeParameters(t_end=30.0, dt=0.5,
+                                                    snapshot_every=10))
+        ensemble = run_ensemble(jrj_control, noisy_params, q0=0.0, rate0=0.5,
+                                t_end=100.0, dt=0.02, n_paths=100, rng=rng)
+        with pytest.raises(AnalysisError):
+            compare_with_density(ensemble, fp)
+
+    def test_compare_with_density_reports_small_differences(self, jrj_control,
+                                                            rng):
+        params = SystemParameters(mu=1.0, q_target=10.0, c0=0.05, c1=0.2,
+                                  sigma=0.5)
+        grid = GridParameters(q_max=40.0, nq=100, v_min=-1.5, v_max=1.5, nv=60)
+        solver = FokkerPlanckSolver(params, jrj_control, grid_params=grid)
+        fp = solver.solve_from_point(0.0, 0.5,
+                                     TimeParameters(t_end=120.0, dt=0.5,
+                                                    snapshot_every=20))
+        ensemble = run_ensemble(jrj_control, params, q0=0.0, rate0=0.5,
+                                t_end=120.0, dt=0.02, n_paths=2000, rng=rng)
+        comparison = compare_with_density(ensemble, fp)
+        assert comparison["mean_queue_difference"] < 1.5
+        assert comparison["std_queue_difference"] < 1.5
+        assert comparison["marginal_l1_distance"] < 0.6

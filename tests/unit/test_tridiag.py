@@ -1,0 +1,66 @@
+"""Unit tests for the tridiagonal (Thomas) solver."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConvergenceError
+from repro.numerics.tridiag import solve_tridiagonal
+
+
+def _dense_from_bands(lower, diag, upper):
+    n = len(diag)
+    matrix = np.zeros((n, n))
+    for i in range(n):
+        matrix[i, i] = diag[i]
+        if i > 0:
+            matrix[i, i - 1] = lower[i]
+        if i < n - 1:
+            matrix[i, i + 1] = upper[i]
+    return matrix
+
+
+class TestSolveTridiagonal:
+    def test_matches_dense_solve(self, rng):
+        n = 50
+        lower = rng.uniform(-1.0, 1.0, n)
+        upper = rng.uniform(-1.0, 1.0, n)
+        diag = 4.0 + rng.uniform(0.0, 1.0, n)
+        rhs = rng.uniform(-5.0, 5.0, n)
+        dense = _dense_from_bands(lower, diag, upper)
+        expected = np.linalg.solve(dense, rhs)
+        result = solve_tridiagonal(lower, diag, upper, rhs)
+        assert np.allclose(result, expected, atol=1e-10)
+
+    def test_identity_matrix(self):
+        n = 10
+        rhs = np.arange(float(n))
+        result = solve_tridiagonal(np.zeros(n), np.ones(n), np.zeros(n), rhs)
+        assert np.allclose(result, rhs)
+
+    def test_multiple_right_hand_sides(self, rng):
+        n = 20
+        lower = np.full(n, -1.0)
+        upper = np.full(n, -1.0)
+        diag = np.full(n, 3.0)
+        rhs = rng.uniform(-1.0, 1.0, (n, 7))
+        result = solve_tridiagonal(lower, diag, upper, rhs)
+        dense = _dense_from_bands(lower, diag, upper)
+        assert result.shape == (n, 7)
+        assert np.allclose(dense @ result, rhs, atol=1e-10)
+
+    def test_preserves_1d_shape(self):
+        n = 5
+        result = solve_tridiagonal(np.zeros(n), np.ones(n), np.zeros(n),
+                                   np.ones(n))
+        assert result.ndim == 1
+
+    def test_singular_matrix_raises(self):
+        n = 4
+        with pytest.raises(ConvergenceError):
+            solve_tridiagonal(np.zeros(n), np.zeros(n), np.zeros(n), np.ones(n))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            solve_tridiagonal(np.zeros(3), np.ones(4), np.zeros(4), np.ones(4))
+        with pytest.raises(ValueError):
+            solve_tridiagonal(np.zeros(4), np.ones(4), np.zeros(4), np.ones(3))

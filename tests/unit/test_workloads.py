@@ -1,0 +1,81 @@
+"""Unit tests for the scenario builders and the sweep runner."""
+
+import pytest
+
+from repro import JRJControl, SystemParameters
+from repro.exceptions import ConfigurationError
+from repro.workloads import (
+    ParameterSweep,
+    heterogeneous_delay_scenario,
+    heterogeneous_parameters_scenario,
+    homogeneous_sources_scenario,
+    packet_level_jrj_scenario,
+    packet_level_window_scenario,
+    run_sweep,
+    single_source_scenario,
+)
+
+
+class TestScenarioBuilders:
+    def test_single_source_scenario_consistency(self):
+        params, control = single_source_scenario(sigma=0.3)
+        assert isinstance(params, SystemParameters)
+        assert isinstance(control, JRJControl)
+        assert control.c0 == params.c0
+        assert control.q_target == params.q_target
+        assert params.sigma == 0.3
+
+    def test_homogeneous_sources_all_identical(self):
+        params, sources = homogeneous_sources_scenario(n_sources=5)
+        assert len(sources) == 5
+        assert len({source.c0 for source in sources}) == 1
+        assert len({source.c1 for source in sources}) == 1
+
+    def test_heterogeneous_parameters_scale_c0(self):
+        _, sources = heterogeneous_parameters_scenario(ratios=(1.0, 3.0))
+        assert sources[1].c0 == pytest.approx(3.0 * sources[0].c0)
+
+    def test_heterogeneous_delay_scenario(self):
+        _, sources = heterogeneous_delay_scenario(delays=(0.5, 4.0))
+        assert sources[0].delay == 0.5
+        assert sources[1].delay == 4.0
+        assert sources[0].c0 == sources[1].c0
+
+    def test_packet_level_jrj_scenario_shapes(self):
+        config = packet_level_jrj_scenario(n_sources=3, service_rate=20.0)
+        assert config.n_sources == 3
+        assert config.service_rate == 20.0
+        assert all(source.kind == "rate" for source in config.sources)
+
+    def test_packet_level_jrj_delay_length_mismatch(self):
+        with pytest.raises(ValueError):
+            packet_level_jrj_scenario(n_sources=2, feedback_delays=[1.0])
+
+    def test_packet_level_window_scenario_marking_only_for_decbit(self):
+        tcp = packet_level_window_scenario(scheme="jacobson")
+        decbit = packet_level_window_scenario(scheme="decbit")
+        assert tcp.marking_threshold is None
+        assert decbit.marking_threshold is not None
+
+    def test_packet_level_window_delay_length_mismatch(self):
+        with pytest.raises(ValueError):
+            packet_level_window_scenario(n_sources=2, round_trip_delays=[0.5])
+
+
+class TestSweepRunner:
+    def test_sweep_collects_results_in_order(self):
+        sweep = run_sweep("x", [1.0, 2.0, 3.0], evaluate=lambda x: x ** 2)
+        assert isinstance(sweep, ParameterSweep)
+        assert sweep.values == [1.0, 2.0, 3.0]
+        assert sweep.results == [1.0, 4.0, 9.0]
+        assert len(sweep) == 3
+
+    def test_sweep_rows_extraction(self):
+        sweep = run_sweep("delay", [0.0, 1.0], evaluate=lambda d: {"amp": 2 * d})
+        rows = sweep.rows(lambda result: {"amplitude": result["amp"]})
+        assert rows == [{"delay": 0.0, "amplitude": 0.0},
+                        {"delay": 1.0, "amplitude": 2.0}]
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_sweep("x", [], evaluate=lambda x: x)

@@ -7,6 +7,10 @@ mean/std of the queue are compared against the finest run and against the
 Langevin Monte-Carlo reference.  The differences must shrink as the grid is
 refined -- the practical check that the headline numbers of E4/E9 are
 discretisation-converged.
+
+The refinement matrix runs through :mod:`repro.runner`: each resolution is
+one :class:`~repro.runner.JobSpec` and the study executes across worker
+processes, demonstrating the orchestration subsystem on a real ablation.
 """
 
 import numpy as np
@@ -14,30 +18,38 @@ import numpy as np
 from repro import (
     FokkerPlanckSolver,
     GridParameters,
+    JobSpec,
+    SystemParameters,
     TimeParameters,
     run_ensemble,
+    run_jobs,
 )
 from repro.analysis import format_table
+from repro.control.jrj import jrj_from_parameters
 
 RESOLUTIONS = [(50, 30), (100, 60), (150, 90)]
+N_WORKERS = 2
 
 
-def _solve_on_grid(noisy_params, jrj_control, nq, nv):
+def solve_on_grid(params: SystemParameters, nq: int, nv: int):
+    """Runner job: final FP moments on one (nq, nv) phase grid."""
     grid = GridParameters(q_max=40.0, nq=nq, v_min=-1.5, v_max=1.5, nv=nv)
-    solver = FokkerPlanckSolver(noisy_params, jrj_control, grid_params=grid)
+    control = jrj_from_parameters(params)
+    solver = FokkerPlanckSolver(params, control, grid_params=grid)
     result = solver.solve_from_point(
         0.0, 0.5, TimeParameters(t_end=120.0, dt=0.5, snapshot_every=60))
     return result.final_moments
 
 
-def _refinement_study(noisy_params, jrj_control):
-    return [_solve_on_grid(noisy_params, jrj_control, nq, nv)
+def _refinement_study(noisy_params):
+    jobs = [JobSpec(solve_on_grid, params=noisy_params,
+                    overrides={"nq": nq, "nv": nv})
             for nq, nv in RESOLUTIONS]
+    return run_jobs(jobs, n_jobs=N_WORKERS).values
 
 
 def test_grid_refinement_convergence(benchmark, noisy_params, jrj_control):
-    moments = benchmark.pedantic(_refinement_study,
-                                 args=(noisy_params, jrj_control),
+    moments = benchmark.pedantic(_refinement_study, args=(noisy_params,),
                                  iterations=1, rounds=1)
 
     reference = run_ensemble(jrj_control, noisy_params, q0=0.0, rate0=0.5,

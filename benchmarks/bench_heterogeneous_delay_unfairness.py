@@ -15,7 +15,8 @@ EXPERIMENTS.md:
 
 import numpy as np
 
-from repro import SourceParameters, heterogeneous_delay_experiment
+from repro import JobSpec, SourceParameters, heterogeneous_delay_experiment
+from repro import run_jobs
 from repro.analysis import format_table
 from repro.delay.round_trip import RoundTripUpdateModel
 from repro.queueing import Simulator
@@ -23,20 +24,26 @@ from repro.workloads import packet_level_window_scenario
 
 LONG_DELAYS = [1.0, 2.0, 4.0]
 SHORT_DELAY = 0.5
+N_WORKERS = 2
+
+
+def round_trip_point(params, long_delay):
+    """Runner job: one short-vs-long round-trip-update comparison."""
+    sources = [
+        SourceParameters(c0=0.05, c1=0.2, delay=SHORT_DELAY,
+                         initial_rate=0.3, name=f"delay-{SHORT_DELAY}"),
+        SourceParameters(c0=0.05, c1=0.2, delay=long_delay,
+                         initial_rate=0.3, name=f"delay-{long_delay}"),
+    ]
+    return RoundTripUpdateModel(sources, params).run(t_end=1500.0, dt=0.05)
 
 
 def _round_trip_sweep(params):
-    results = []
-    for long_delay in LONG_DELAYS:
-        sources = [
-            SourceParameters(c0=0.05, c1=0.2, delay=SHORT_DELAY,
-                             initial_rate=0.3, name=f"delay-{SHORT_DELAY}"),
-            SourceParameters(c0=0.05, c1=0.2, delay=long_delay,
-                             initial_rate=0.3, name=f"delay-{long_delay}"),
-        ]
-        results.append(RoundTripUpdateModel(sources, params).run(
-            t_end=1500.0, dt=0.05))
-    return results
+    # One job per long-path delay, executed through the parallel runner.
+    jobs = [JobSpec(round_trip_point, params=params,
+                    overrides={"long_delay": long_delay})
+            for long_delay in LONG_DELAYS]
+    return run_jobs(jobs, n_jobs=N_WORKERS).values
 
 
 def test_heterogeneous_delay_unfairness(benchmark, canonical_params):

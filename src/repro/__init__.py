@@ -18,7 +18,10 @@ The package provides, as documented in DESIGN.md:
 * :mod:`repro.queueing` -- a packet-level discrete-event simulator,
 * :mod:`repro.stochastic` -- Langevin Monte-Carlo validation of the PDE,
 * :mod:`repro.analysis`, :mod:`repro.workloads` -- metrics, report tables
-  and canonical scenarios shared by the examples and benchmarks.
+  and canonical scenarios shared by the examples and benchmarks,
+* :mod:`repro.runner` -- parallel experiment orchestration: declarative
+  job specs, multi-dimensional grids, a worker-process executor and a
+  content-addressed on-disk result cache (see ``docs/runner.md``).
 
 Quick start::
 
@@ -106,8 +109,17 @@ from .queueing import (
     SourceConfig,
 )
 from .stochastic import LangevinModel, compare_with_density, run_ensemble
+from .runner import (
+    ExperimentSpec,
+    JobSpec,
+    MatrixResult,
+    ResultCache,
+    build_matrix,
+    expand_grid,
+    run_jobs,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -181,4 +193,12 @@ __all__ = [
     "LangevinModel",
     "run_ensemble",
     "compare_with_density",
+    # experiment orchestration
+    "JobSpec",
+    "ExperimentSpec",
+    "MatrixResult",
+    "ResultCache",
+    "expand_grid",
+    "build_matrix",
+    "run_jobs",
 ]

@@ -6,18 +6,30 @@ Python::
 
     python -m repro.cli theorem1
     python -m repro.cli density --sigma 0.5 --t-end 150
-    python -m repro.cli delay-sweep --delays 0 2 4 8
+    python -m repro.cli delay-sweep --delays 0 2 4 8 --jobs 4
     python -m repro.cli fairness --sources 4
     python -m repro.cli multihop --extra-hops 3
+    python -m repro.cli run density-grid --jobs 4
+    python -m repro.cli cache info
 
-Each sub-command maps onto one experiment family of DESIGN.md; the heavier
-parameter sweeps remain in ``benchmarks/``.
+Each classic sub-command maps onto one experiment family of DESIGN.md.  On
+top of those, the :mod:`repro.runner` orchestration layer adds:
+
+* ``repro run <matrix>`` -- execute a named multi-dimensional experiment
+  matrix (``repro run --list`` shows the registry) across ``--jobs`` worker
+  processes, serving unchanged jobs from the content-addressed result
+  cache and reporting the hit/computed/failed counts;
+* ``repro cache {info,list,clear}`` -- inspect or empty that cache;
+* ``--jobs N``, ``--no-cache`` and ``--cache-dir PATH`` on the experiment
+  sub-commands above, which route their evaluations through the same
+  runner (``delay-sweep --jobs 4`` runs one worker process per delay).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional, Sequence
 
 from .analysis import (
@@ -26,14 +38,18 @@ from .analysis import (
     render_trajectory_portrait,
 )
 from .characteristics import verify_theorem1
-from .config import SystemParameters, TimeParameters
-from .control.jrj import JRJControl
-from .core.solver import FokkerPlanckSolver
-from .delay import delay_sweep
-from .multisource import MultiSourceModel, fairness_report
-from .queueing import MultiHopSimulator
-from .queueing.multihop import parking_lot_scenario
-from .workloads import homogeneous_sources_scenario
+from .config import SystemParameters
+from .exceptions import ConfigurationError
+from .runner import JobSpec, ResultCache, print_progress, run_jobs
+from .runner.experiments import (
+    available_matrices,
+    delay_point,
+    density_point,
+    fairness_point,
+    get_matrix,
+    multihop_point,
+    theorem1_point,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -54,6 +70,33 @@ def _add_common_parameters(parser: argparse.ArgumentParser) -> None:
                         help="exponential decrease constant C1 (default 0.2)")
 
 
+def _add_runner_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the job matrix "
+                             "(default 1 = serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="always recompute; do not read or write the "
+                             "result cache")
+    parser.add_argument("--cache-dir", default=None, metavar="PATH",
+                        help="result-cache directory (default ~/.cache/repro "
+                             "or $REPRO_CACHE_DIR)")
+    parser.add_argument("--progress", action="store_true",
+                        help="print per-job progress lines to stderr")
+
+
+def _cache_from(args: argparse.Namespace) -> Optional[ResultCache]:
+    if getattr(args, "no_cache", False):
+        return None
+    return ResultCache(args.cache_dir)
+
+
+def _run_matrix(jobs: List[JobSpec], args: argparse.Namespace):
+    result = run_jobs(jobs, n_jobs=args.jobs, cache=_cache_from(args),
+                      progress=print_progress if args.progress else None)
+    result.raise_failures()
+    return result
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser with all sub-commands."""
     parser = argparse.ArgumentParser(
@@ -65,12 +108,14 @@ def build_parser() -> argparse.ArgumentParser:
     theorem1 = subparsers.add_parser(
         "theorem1", help="verify Theorem 1 (stability without delay)")
     _add_common_parameters(theorem1)
+    _add_runner_options(theorem1)
     theorem1.add_argument("--portrait", action="store_true",
                           help="also print the ASCII phase portrait")
 
     density = subparsers.add_parser(
         "density", help="solve the Fokker-Planck equation (Equation 14)")
     _add_common_parameters(density)
+    _add_runner_options(density)
     density.add_argument("--sigma", type=float, default=0.5,
                          help="diffusion coefficient (default 0.5)")
     density.add_argument("--t-end", type=float, default=150.0,
@@ -79,6 +124,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = subparsers.add_parser(
         "delay-sweep", help="oscillation amplitude/period versus feedback delay")
     _add_common_parameters(sweep)
+    _add_runner_options(sweep)
     sweep.add_argument("--delays", type=float, nargs="+",
                        default=[0.0, 2.0, 4.0, 8.0],
                        help="feedback delays to sweep")
@@ -88,6 +134,7 @@ def build_parser() -> argparse.ArgumentParser:
     fairness = subparsers.add_parser(
         "fairness", help="multi-source fairness (Section 6)")
     _add_common_parameters(fairness)
+    _add_runner_options(fairness)
     fairness.add_argument("--sources", type=int, default=4,
                           help="number of identical sources (default 4)")
     fairness.add_argument("--t-end", type=float, default=700.0,
@@ -95,6 +142,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     multihop = subparsers.add_parser(
         "multihop", help="hop-count unfairness on the parking-lot topology")
+    _add_runner_options(multihop)
     multihop.add_argument("--extra-hops", type=int, default=2,
                           help="hops the long connection traverses before "
                                "the shared node (default 2)")
@@ -103,91 +151,191 @@ def build_parser() -> argparse.ArgumentParser:
     multihop.add_argument("--service-rate", type=float, default=10.0,
                           help="per-node service rate (default 10)")
 
+    run = subparsers.add_parser(
+        "run", help="run a named experiment matrix through the parallel "
+                    "runner (see --list)")
+    _add_common_parameters(run)
+    _add_runner_options(run)
+    run.add_argument("matrix", nargs="?", default=None,
+                     help="matrix name (e.g. density-grid); see --list")
+    run.add_argument("--list", action="store_true", dest="list_matrices",
+                     help="list the available experiment matrices and exit")
+    run.add_argument("--seed", type=int, default=None,
+                     help="master seed for per-job seed derivation")
+    run.add_argument("--t-end", type=float, default=None,
+                     help="override the matrix's per-job horizon")
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect or clear the content-addressed result cache")
+    cache.add_argument("action", choices=["info", "list", "clear"],
+                       help="what to do with the cache")
+    cache.add_argument("--cache-dir", default=None, metavar="PATH",
+                       help="cache directory (default ~/.cache/repro)")
+
     return parser
 
 
 def _run_theorem1(args: argparse.Namespace) -> int:
     params = _system_parameters(args)
-    verification = verify_theorem1(params)
-    print(format_key_values("Theorem 1 verification", {
-        "converges": verification.converges,
-        "final |q - q_target|": verification.final_queue_error,
-        "final |rate - mu|": verification.final_rate_error,
-        "mean peak contraction": verification.mean_contraction_ratio,
-    }))
     if args.portrait:
+        # The portrait needs the full trajectory, which the compact runner
+        # result intentionally omits; compute directly.
+        verification = verify_theorem1(params)
+        summary = {
+            "converges": verification.converges,
+            "final_queue_error": verification.final_queue_error,
+            "final_rate_error": verification.final_rate_error,
+            "mean_contraction_ratio": verification.mean_contraction_ratio,
+        }
+        portrait = render_trajectory_portrait(verification.trajectory)
+    else:
+        outcome = _run_matrix(
+            [JobSpec(theorem1_point, params=params)], args).outcomes[0]
+        summary = outcome.value
+        portrait = None
+    print(format_key_values("Theorem 1 verification", {
+        "converges": summary["converges"],
+        "final |q - q_target|": summary["final_queue_error"],
+        "final |rate - mu|": summary["final_rate_error"],
+        "mean peak contraction": summary["mean_contraction_ratio"],
+    }))
+    if portrait is not None:
         print()
-        print(render_trajectory_portrait(verification.trajectory))
-    return 0 if verification.converges else 1
+        print(portrait)
+    return 0 if summary["converges"] else 1
 
 
 def _run_density(args: argparse.Namespace) -> int:
     params = _system_parameters(args)
-    control = JRJControl(c0=params.c0, c1=params.c1, q_target=params.q_target)
-    solver = FokkerPlanckSolver(params, control)
-    result = solver.solve_from_point(
-        q0=0.0, rate0=0.5 * params.mu,
-        time_params=TimeParameters(t_end=args.t_end,
-                                   dt=max(args.t_end / 300.0, 0.1),
-                                   snapshot_every=30))
-    rows = [
-        {
-            "time": snapshot.time,
-            "mean_queue": snapshot.moments.mean_q,
-            "std_queue": snapshot.moments.std_q,
-        }
-        for snapshot in result.snapshots
-    ]
-    print(format_table(rows, title="Fokker-Planck moments over time"))
+    job = JobSpec(density_point, params=params,
+                  overrides={"t_end": args.t_end, "nq": 120, "nv": 90})
+    value = _run_matrix([job], args).outcomes[0].value
+    print(format_table(value["snapshots"],
+                       title="Fokker-Planck moments over time"))
     print(format_key_values("final density", {
-        "mean queue": result.final_moments.mean_q,
-        "std queue": result.final_moments.std_q,
-        "P(Q > 2 q_target)": result.overflow_probability(2.0 * params.q_target),
+        "mean queue": value["mean_queue"],
+        "std queue": value["std_queue"],
+        "P(Q > 2 q_target)": value["overflow_probability"],
     }))
     return 0
 
 
 def _run_delay_sweep(args: argparse.Namespace) -> int:
     params = _system_parameters(args)
-    control = JRJControl(c0=params.c0, c1=params.c1, q_target=params.q_target)
-    summaries = delay_sweep(control, params, args.delays, t_end=args.t_end)
+    jobs = [JobSpec(delay_point, params=params,
+                    overrides={"delay": float(delay), "t_end": args.t_end})
+            for delay in args.delays]
+    result = _run_matrix(jobs, args)
     rows = [
         {
-            "delay": summary.delay,
-            "sustained": summary.sustained,
-            "queue_amplitude": summary.queue_amplitude,
-            "period": summary.period,
+            "delay": value["delay"],
+            "sustained": value["sustained"],
+            "queue_amplitude": value["queue_amplitude"],
+            "period": value["period"],
         }
-        for summary in summaries
+        for value in (outcome.value for outcome in result)
     ]
     print(format_table(rows, title="oscillation versus feedback delay"))
     return 0
 
 
 def _run_fairness(args: argparse.Namespace) -> int:
-    params, sources = homogeneous_sources_scenario(
-        n_sources=args.sources, mu=args.mu, q_target=args.q_target,
-        c0=args.c0, c1=args.c1)
-    trajectory = MultiSourceModel(sources, params).solve(t_end=args.t_end,
-                                                         dt=0.05)
-    report = fairness_report(trajectory, sources)
-    print(format_table(report.rows(), title="multi-source fairness"))
-    print(format_key_values("summary", {"Jain index": report.jain_index}))
+    params = _system_parameters(args)
+    job = JobSpec(fairness_point, params=params,
+                  overrides={"n_sources": args.sources, "t_end": args.t_end})
+    value = _run_matrix([job], args).outcomes[0].value
+    print(format_table(value["rows"], title="multi-source fairness"))
+    print(format_key_values("summary", {"Jain index": value["jain_index"]}))
     return 0
 
 
 def _run_multihop(args: argparse.Namespace) -> int:
-    config = parking_lot_scenario(n_extra_hops=args.extra_hops,
-                                  service_rate=args.service_rate)
-    result = MultiHopSimulator(config).run(duration=args.duration)
+    job = JobSpec(multihop_point, overrides={
+        "extra_hops": args.extra_hops,
+        "duration": args.duration,
+        "service_rate": args.service_rate,
+    })
+    value = _run_matrix([job], args).outcomes[0].value
     rows = [
-        {"route": name, "hops": hops, "throughput": throughput}
-        for hops, name, throughput in result.throughput_by_hop_count()
+        {"route": row["route"], "hops": row["hops"],
+         "throughput": row["throughput"]}
+        for row in value["throughput_by_hops"]
     ]
     print(format_table(rows, title="throughput by hop count (parking lot)"))
     print(format_key_values("summary", {
-        "long/short throughput ratio": result.long_to_short_ratio(),
-        "Jain index": result.fairness_index(),
+        "long/short throughput ratio": value["long_to_short_ratio"],
+        "Jain index": value["jain_index"],
+    }))
+    return 0
+
+
+def _run_run(args: argparse.Namespace) -> int:
+    if args.list_matrices:
+        rows = [{"matrix": definition.name,
+                 "description": definition.description}
+                for definition in available_matrices()]
+        print(format_table(rows, title="available experiment matrices"))
+        return 0
+    if args.matrix is None:
+        print("error: name a matrix to run, or pass --list", file=sys.stderr)
+        return 2
+
+    params = _system_parameters(args)
+    definition = get_matrix(args.matrix)
+    jobs = definition.build(params, args.seed, args.t_end)
+
+    started = time.perf_counter()
+    result = run_jobs(jobs, n_jobs=args.jobs, cache=_cache_from(args),
+                      progress=print_progress if args.progress else None)
+    elapsed = time.perf_counter() - started
+
+    rows = []
+    for outcome in result:
+        row = {"job": outcome.spec.label,
+               "status": "cached" if outcome.from_cache
+               else ("ok" if outcome.ok else "FAILED")}
+        if outcome.ok and isinstance(outcome.value, dict):
+            row.update({name: value for name, value in outcome.value.items()
+                        if isinstance(value, (int, float, bool))})
+        rows.append(row)
+    print(format_table(rows, title=f"{definition.name}: {definition.description}"))
+    print(format_key_values("matrix summary", {
+        "jobs": len(result),
+        "cache hits": result.cache_hits,
+        "computed": result.computed,
+        "failed": len(result.failures),
+        "workers": args.jobs,
+        "wall clock [s]": round(elapsed, 3),
+    }))
+    for outcome in result.failures:
+        print(f"\nFAILED {outcome.spec.label}:\n{outcome.error}",
+              file=sys.stderr)
+    return 0 if not result.failures else 1
+
+
+def _run_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cache entries from {cache.root}")
+        return 0
+    entries = cache.entries()
+    if args.action == "list":
+        rows = [
+            {
+                "key": entry.key[:12],
+                "label": entry.label,
+                "function": entry.function.rsplit(":", 1)[-1],
+                "encoding": entry.encoding,
+                "size [B]": entry.size_bytes,
+            }
+            for entry in sorted(entries, key=lambda e: e.created)
+        ]
+        print(format_table(rows, title=f"cache entries under {cache.root}"))
+        return 0
+    print(format_key_values(f"result cache at {cache.root}", {
+        "entries": len(entries),
+        "total size [B]": cache.size_bytes(),
     }))
     return 0
 
@@ -198,6 +346,8 @@ _COMMANDS = {
     "delay-sweep": _run_delay_sweep,
     "fairness": _run_fairness,
     "multihop": _run_multihop,
+    "run": _run_run,
+    "cache": _run_cache,
 }
 
 
@@ -205,7 +355,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -20,8 +20,8 @@ errors surface where the mistake was made rather than deep inside a solver.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, Optional, Type
 
 from .exceptions import ConfigurationError
 
@@ -31,6 +31,8 @@ __all__ = [
     "TimeParameters",
     "SourceParameters",
     "DelayParameters",
+    "ParameterDictMixin",
+    "parameters_from_dict",
 ]
 
 
@@ -40,8 +42,72 @@ def _require(condition: bool, message: str) -> None:
         raise ConfigurationError(message)
 
 
+#: Registry mapping the ``__parameters__`` type tag written by
+#: :meth:`ParameterDictMixin.to_dict` back to the dataclass, so a dictionary
+#: can be revived without knowing its concrete type in advance.
+_PARAMETER_REGISTRY: Dict[str, Type["ParameterDictMixin"]] = {}
+
+#: Key under which the concrete type name is stored in serialised form.
+_TYPE_TAG = "__parameters__"
+
+
+class ParameterDictMixin:
+    """Canonical ``to_dict()`` / ``from_dict()`` round-trip for parameters.
+
+    Every parameter dataclass in this module mixes this in so that any
+    configuration object can be turned into a plain, JSON-serialisable
+    dictionary and back.  The dictionary form is the basis of the
+    content-addressed job hashes used by :mod:`repro.runner` and is also
+    convenient for logging and result metadata.
+    """
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        _PARAMETER_REGISTRY[cls.__name__] = cls
+
+    def to_dict(self) -> dict:
+        """Return a plain dictionary with a ``__parameters__`` type tag."""
+        data = {_TYPE_TAG: type(self).__name__}
+        for spec in fields(self):
+            data[spec.name] = getattr(self, spec.name)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ParameterDictMixin":
+        """Rebuild an instance from :meth:`to_dict` output.
+
+        The type tag (when present) must match *cls*, unknown keys are
+        rejected, and the rebuilt instance passes through the usual
+        ``__post_init__`` validation.
+        """
+        payload = dict(data)
+        tag = payload.pop(_TYPE_TAG, None)
+        _require(tag is None or tag == cls.__name__,
+                 f"cannot revive a {tag!r} dictionary as {cls.__name__}")
+        known = {spec.name for spec in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        _require(not unknown,
+                 f"unknown {cls.__name__} fields in dictionary: {unknown}")
+        return cls(**payload)
+
+
+def parameters_from_dict(data: dict) -> ParameterDictMixin:
+    """Revive any parameter dataclass from its :meth:`to_dict` form.
+
+    Dispatches on the ``__parameters__`` tag, so callers need not know which
+    concrete parameter class a stored dictionary describes.
+    """
+    _require(isinstance(data, dict) and _TYPE_TAG in data,
+             "parameters_from_dict needs a dictionary with a "
+             f"{_TYPE_TAG!r} type tag")
+    tag = data[_TYPE_TAG]
+    _require(tag in _PARAMETER_REGISTRY,
+             f"unknown parameter type tag {tag!r}")
+    return _PARAMETER_REGISTRY[tag].from_dict(data)
+
+
 @dataclass(frozen=True)
-class SystemParameters:
+class SystemParameters(ParameterDictMixin):
     """Physical parameters of the controlled bottleneck queue.
 
     Parameters
@@ -98,7 +164,7 @@ class SystemParameters:
 
 
 @dataclass(frozen=True)
-class GridParameters:
+class GridParameters(ParameterDictMixin):
     """Discretisation of the ``(q, ν)`` phase plane for the PDE solver.
 
     The queue axis spans ``[0, q_max]`` with ``nq`` cells and the
@@ -130,7 +196,7 @@ class GridParameters:
 
 
 @dataclass(frozen=True)
-class TimeParameters:
+class TimeParameters(ParameterDictMixin):
     """Time-integration horizon and step control for PDE / ODE solvers."""
 
     t_end: float = 200.0
@@ -151,7 +217,7 @@ class TimeParameters:
 
 
 @dataclass(frozen=True)
-class SourceParameters:
+class SourceParameters(ParameterDictMixin):
     """Per-source control parameters for multi-source scenarios.
 
     Each source ``i`` runs its own copy of the adaptive algorithm with its
@@ -173,7 +239,7 @@ class SourceParameters:
 
 
 @dataclass(frozen=True)
-class DelayParameters:
+class DelayParameters(ParameterDictMixin):
     """Feedback-delay configuration for Section 7 experiments."""
 
     delay: float = 2.0

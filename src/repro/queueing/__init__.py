@@ -20,7 +20,13 @@ delay-unfairness experiments all have a packet-level counterpart.
 
 from .events import Event, EventQueue
 from .packet import Packet
-from .random_streams import RandomStreams
+from .random_streams import (
+    RandomStreams,
+    child_seed_sequence,
+    child_seed_sequences,
+    derive_child_seed,
+    derive_child_seeds,
+)
 from .trace import TimeSeriesTrace, SimulationTrace
 from .queue_node import BottleneckQueue
 from .feedback import FeedbackChannel
@@ -41,6 +47,10 @@ __all__ = [
     "EventQueue",
     "Packet",
     "RandomStreams",
+    "child_seed_sequence",
+    "child_seed_sequences",
+    "derive_child_seed",
+    "derive_child_seeds",
     "TimeSeriesTrace",
     "SimulationTrace",
     "BottleneckQueue",

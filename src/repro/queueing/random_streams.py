@@ -4,17 +4,108 @@ Each stochastic element of the simulation (per-source packet spacing jitter,
 service-time variation) draws from its own named stream so that changing one
 element's randomness does not perturb the others -- the standard
 common-random-numbers discipline for comparing protocol variants.
+
+The module also provides the project's canonical *child-seed derivation*
+helpers.  Anything that splits work across shards or worker processes
+(:func:`repro.stochastic.run_ensemble`, the :mod:`repro.runner` job matrix)
+derives per-shard seeds here, via :class:`numpy.random.SeedSequence` spawn
+keys rather than naive ``seed + i`` arithmetic, so child streams are
+statistically independent and reproducible regardless of execution order or
+process boundaries.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+import hashlib
+from typing import Dict, List, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..exceptions import ConfigurationError
 
-__all__ = ["RandomStreams"]
+__all__ = [
+    "RandomStreams",
+    "child_seed_sequence",
+    "child_seed_sequences",
+    "derive_child_seed",
+    "derive_child_seeds",
+]
+
+SpawnKeyElement = Union[int, str]
+
+
+def _stable_name_key(name: str) -> int:
+    """Map a stream/shard name to a stable 32-bit integer.
+
+    Uses SHA-256 rather than the built-in ``hash`` so the mapping is identical
+    across processes and interpreter runs (``hash(str)`` is salted per
+    process, which would silently break cross-process reproducibility).
+    """
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "little")
+
+
+def _normalise_spawn_key(key: Sequence[SpawnKeyElement]) -> Tuple[int, ...]:
+    elements = []
+    for element in key:
+        if isinstance(element, bool) or not isinstance(element, (int, str)):
+            raise ConfigurationError(
+                f"spawn-key elements must be ints or strings, got {element!r}")
+        if isinstance(element, str):
+            elements.append(_stable_name_key(element))
+        else:
+            if element < 0:
+                raise ConfigurationError(
+                    f"integer spawn-key elements must be non-negative, "
+                    f"got {element}")
+            elements.append(int(element))
+    return tuple(elements)
+
+
+def child_seed_sequence(master_seed: int,
+                        key: Sequence[SpawnKeyElement] = ()
+                        ) -> np.random.SeedSequence:
+    """Return the :class:`~numpy.random.SeedSequence` child for *key*.
+
+    The child is identified by its spawn key, so ``child_seed_sequence(s,
+    (2,))`` is the same stream whether or not siblings ``(0,)`` and ``(1,)``
+    were ever created -- derivation is order-independent by construction.
+    String key elements are allowed and hashed stably.
+    """
+    if master_seed < 0:
+        raise ConfigurationError("master seed must be non-negative")
+    return np.random.SeedSequence(int(master_seed),
+                                  spawn_key=_normalise_spawn_key(key))
+
+
+def child_seed_sequences(master_seed: int, n_children: int,
+                         key: Sequence[SpawnKeyElement] = ()
+                         ) -> List[np.random.SeedSequence]:
+    """Return *n_children* sibling seed sequences under a common prefix key.
+
+    Child ``i`` has spawn key ``key + (i,)``; it depends only on the master
+    seed and its own index, never on how many siblings exist or in which
+    order they are instantiated.
+    """
+    if n_children < 1:
+        raise ConfigurationError("n_children must be at least 1")
+    prefix = tuple(key)
+    return [child_seed_sequence(master_seed, prefix + (index,))
+            for index in range(n_children)]
+
+
+def derive_child_seed(master_seed: int,
+                      key: Sequence[SpawnKeyElement] = ()) -> int:
+    """Derive one deterministic 63-bit integer child seed for *key*."""
+    state = child_seed_sequence(master_seed, key).generate_state(2, np.uint32)
+    return (int(state[0]) | (int(state[1]) << 32)) & (2 ** 63 - 1)
+
+
+def derive_child_seeds(master_seed: int, n_children: int,
+                       key: Sequence[SpawnKeyElement] = ()) -> List[int]:
+    """Derive *n_children* deterministic integer child seeds (spawn-key based)."""
+    return [derive_child_seed(master_seed, tuple(key) + (index,))
+            for index in range(n_children)]
 
 
 class RandomStreams:
@@ -35,11 +126,15 @@ class RandomStreams:
         self._streams: Dict[str, np.random.Generator] = {}
 
     def stream(self, name: str) -> np.random.Generator:
-        """Return (creating on first use) the generator for *name*."""
+        """Return (creating on first use) the generator for *name*.
+
+        The child seed is derived with the stable spawn-key scheme of
+        :func:`child_seed_sequence`, so the same ``(seed, name)`` pair yields
+        the same stream in every process and interpreter run.
+        """
         if name not in self._streams:
-            child_seed = np.random.SeedSequence(
-                [self._seed, abs(hash(name)) % (2 ** 31)])
-            self._streams[name] = np.random.default_rng(child_seed)
+            child = child_seed_sequence(self._seed, (name,))
+            self._streams[name] = np.random.default_rng(child)
         return self._streams[name]
 
     def exponential(self, name: str, mean: float) -> float:

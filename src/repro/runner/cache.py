@@ -1,0 +1,264 @@
+"""Content-addressed on-disk result cache.
+
+Layout (under ``~/.cache/repro`` by default, overridable with the
+``REPRO_CACHE_DIR`` environment variable or an explicit ``--cache-dir``)::
+
+    <root>/objects/<key[:2]>/<key>/
+        meta.json      -- fingerprint, label, encoding, creation time
+        result.json    -- JSON-encodable results (possibly with array refs)
+        arrays.npz     -- numpy arrays referenced from result.json
+        result.pkl     -- pickle fallback for arbitrary Python results
+
+``<key>`` is the SHA-256 content hash of the job fingerprint
+(:meth:`repro.runner.JobSpec.key`), so a cache entry is valid for exactly
+one logical computation.  Reads are defensive: any malformed entry --
+truncated JSON, missing artifact, undecodable pickle -- is treated as a
+miss and purged, so a corrupted cache degrades to recomputation rather
+than to an error.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import pickle
+import shutil
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["ResultCache", "default_cache_dir", "CacheEntryInfo"]
+
+_META_NAME = "meta.json"
+_JSON_NAME = "result.json"
+_NPZ_NAME = "arrays.npz"
+_PICKLE_NAME = "result.pkl"
+
+#: Bump when the on-disk format changes; mismatched entries read as misses.
+_FORMAT_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """The default cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+class _Unencodable(Exception):
+    """Internal: the value cannot use the JSON(+npz) encoding."""
+
+
+def _encode_jsonable(value: Any, arrays: Dict[str, np.ndarray]) -> Any:
+    """Encode *value* for JSON storage, spilling ndarrays into *arrays*."""
+    if isinstance(value, np.ndarray):
+        token = f"a{len(arrays)}"
+        arrays[token] = value
+        return {"__ndarray__": token}
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, dict):
+        if not all(isinstance(key, str) for key in value):
+            raise _Unencodable("non-string dictionary key")
+        if "__ndarray__" in value or "__tuple__" in value:
+            # The user's keys collide with the codec's sentinels; pickling
+            # the whole result is lossless, mis-decoding it would not be.
+            raise _Unencodable("dictionary key collides with codec sentinel")
+        return {key: _encode_jsonable(item, arrays)
+                for key, item in value.items()}
+    if isinstance(value, tuple):
+        return {"__tuple__": [_encode_jsonable(item, arrays)
+                              for item in value]}
+    if isinstance(value, list):
+        return [_encode_jsonable(item, arrays) for item in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise _Unencodable(f"type {type(value).__name__}")
+
+
+def _decode_jsonable(value: Any, arrays: Dict[str, np.ndarray]) -> Any:
+    if isinstance(value, dict):
+        if set(value) == {"__ndarray__"}:
+            return arrays[value["__ndarray__"]]
+        if set(value) == {"__tuple__"}:
+            return tuple(_decode_jsonable(item, arrays)
+                         for item in value["__tuple__"])
+        return {key: _decode_jsonable(item, arrays)
+                for key, item in value.items()}
+    if isinstance(value, list):
+        return [_decode_jsonable(item, arrays) for item in value]
+    return value
+
+
+@dataclass(frozen=True)
+class CacheEntryInfo:
+    """Metadata summary of one cache entry (for ``repro cache list``)."""
+
+    key: str
+    label: str
+    function: str
+    encoding: str
+    created: float
+    size_bytes: int
+
+
+class ResultCache:
+    """Content-addressed result store keyed by job fingerprint hashes."""
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        self.root = Path(root).expanduser() if root is not None \
+            else default_cache_dir()
+        self._objects = self.root / "objects"
+
+    # -- paths -------------------------------------------------------------
+
+    def _entry_dir(self, key: str) -> Path:
+        return self._objects / key[:2] / key
+
+    def __contains__(self, key: str) -> bool:
+        return (self._entry_dir(key) / _META_NAME).is_file()
+
+    # -- write -------------------------------------------------------------
+
+    def put(self, key: str, value: Any,
+            meta: Optional[Dict[str, Any]] = None) -> None:
+        """Store *value* under *key*, atomically replacing any entry."""
+        entry = self._entry_dir(key)
+        staging = entry.with_name(entry.name + f".tmp{os.getpid()}")
+        if staging.exists():
+            shutil.rmtree(staging)
+        staging.mkdir(parents=True)
+
+        arrays: Dict[str, np.ndarray] = {}
+        try:
+            jsonable = _encode_jsonable(value, arrays)
+        except _Unencodable:
+            encoding = "pickle"
+            with open(staging / _PICKLE_NAME, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        else:
+            encoding = "json+npz" if arrays else "json"
+            with open(staging / _JSON_NAME, "w", encoding="utf-8") as handle:
+                json.dump(jsonable, handle)
+            if arrays:
+                buffer = io.BytesIO()
+                np.savez_compressed(buffer, **arrays)
+                (staging / _NPZ_NAME).write_bytes(buffer.getvalue())
+
+        metadata = {
+            "format": _FORMAT_VERSION,
+            "key": key,
+            "encoding": encoding,
+            "created": time.time(),
+        }
+        metadata.update(meta or {})
+        with open(staging / _META_NAME, "w", encoding="utf-8") as handle:
+            json.dump(metadata, handle, indent=1, default=str)
+
+        if entry.exists():
+            shutil.rmtree(entry)
+        try:
+            os.replace(staging, entry)
+        except OSError:
+            # Another process published this key between our rmtree and
+            # replace; content-addressing makes the entries interchangeable,
+            # so the first writer wins and our staging copy is discarded.
+            shutil.rmtree(staging, ignore_errors=True)
+            if not (entry / _META_NAME).is_file():
+                raise
+
+    # -- read --------------------------------------------------------------
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """Return ``(hit, value)``; malformed entries are purged as misses."""
+        entry = self._entry_dir(key)
+        meta_path = entry / _META_NAME
+        if not meta_path.is_file():
+            return False, None
+        try:
+            with open(meta_path, "r", encoding="utf-8") as handle:
+                metadata = json.load(handle)
+            if metadata.get("format") != _FORMAT_VERSION \
+                    or metadata.get("key") != key:
+                raise ValueError("cache entry metadata mismatch")
+            encoding = metadata.get("encoding")
+            if encoding == "pickle":
+                with open(entry / _PICKLE_NAME, "rb") as handle:
+                    return True, pickle.load(handle)
+            if encoding in ("json", "json+npz"):
+                with open(entry / _JSON_NAME, "r", encoding="utf-8") as handle:
+                    jsonable = json.load(handle)
+                arrays: Dict[str, np.ndarray] = {}
+                if encoding == "json+npz":
+                    with np.load(entry / _NPZ_NAME) as archive:
+                        arrays = {name: archive[name]
+                                  for name in archive.files}
+                return True, _decode_jsonable(jsonable, arrays)
+            raise ValueError(f"unknown cache encoding {encoding!r}")
+        except Exception:
+            # Corrupted or unreadable entry: purge it and report a miss so
+            # the caller recomputes instead of failing.
+            shutil.rmtree(entry, ignore_errors=True)
+            return False, None
+
+    # -- maintenance -------------------------------------------------------
+
+    def _iter_entry_dirs(self) -> Iterator[Path]:
+        if not self._objects.is_dir():
+            return
+        for shard in sorted(self._objects.iterdir()):
+            if not shard.is_dir():
+                continue
+            for entry in sorted(shard.iterdir()):
+                if entry.is_dir() and ".tmp" not in entry.name:
+                    yield entry
+
+    def entries(self) -> List[CacheEntryInfo]:
+        """Metadata for every readable entry (unreadable ones are skipped)."""
+        found = []
+        for entry in self._iter_entry_dirs():
+            try:
+                with open(entry / _META_NAME, "r", encoding="utf-8") as handle:
+                    metadata = json.load(handle)
+                size = sum(child.stat().st_size
+                           for child in entry.iterdir() if child.is_file())
+                found.append(CacheEntryInfo(
+                    key=metadata.get("key", entry.name),
+                    label=str(metadata.get("label", "")),
+                    function=str(metadata.get("function", "")),
+                    encoding=str(metadata.get("encoding", "")),
+                    created=float(metadata.get("created", 0.0)),
+                    size_bytes=size))
+            except Exception:
+                continue
+        return found
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._iter_entry_dirs())
+
+    def size_bytes(self) -> int:
+        """Total size of all cache artifacts in bytes."""
+        total = 0
+        for entry in self._iter_entry_dirs():
+            total += sum(child.stat().st_size
+                         for child in entry.iterdir() if child.is_file())
+        return total
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of entries removed."""
+        removed = 0
+        for entry in list(self._iter_entry_dirs()):
+            shutil.rmtree(entry, ignore_errors=True)
+            removed += 1
+        return removed

@@ -1,0 +1,204 @@
+"""Parallel job execution with caching, failure isolation and progress.
+
+:func:`run_jobs` is the single entry point: it takes a list of
+:class:`~repro.runner.JobSpec` objects and returns a
+:class:`MatrixResult` whose outcomes are in submission order regardless of
+completion order.  Execution is exact-deterministic: a job's result depends
+only on its spec (function, params, overrides, seed), so running the same
+matrix serially, in parallel, or from cache yields bit-identical values.
+
+Failure isolation: a job that raises is recorded as a failed outcome with
+its traceback; the rest of the matrix still runs.  Only successful results
+are written to the cache.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence
+
+from ..exceptions import ConfigurationError, SimulationError
+from .cache import ResultCache
+from .spec import JobSpec
+
+__all__ = ["JobOutcome", "MatrixResult", "run_jobs", "print_progress"]
+
+ProgressCallback = Callable[[int, int, "JobOutcome"], None]
+
+
+@dataclass
+class JobOutcome:
+    """Result record of one job: value or error, provenance and timing."""
+
+    spec: JobSpec
+    key: str
+    value: Any = None
+    error: Optional[str] = None
+    from_cache: bool = False
+    duration: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the job produced a value (freshly or from cache)."""
+        return self.error is None
+
+
+@dataclass
+class MatrixResult:
+    """Outcome of a whole job matrix, in submission order."""
+
+    outcomes: List[JobOutcome] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def __iter__(self):
+        return iter(self.outcomes)
+
+    @property
+    def values(self) -> List[Any]:
+        """Values of all successful jobs, raising if any job failed."""
+        self.raise_failures()
+        return [outcome.value for outcome in self.outcomes]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.from_cache)
+
+    @property
+    def computed(self) -> int:
+        return sum(1 for outcome in self.outcomes
+                   if outcome.ok and not outcome.from_cache)
+
+    @property
+    def failures(self) -> List[JobOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    def raise_failures(self) -> None:
+        """Raise :class:`SimulationError` describing all failed jobs, if any."""
+        failed = self.failures
+        if failed:
+            details = "; ".join(
+                f"{outcome.spec.label}: {outcome.error.splitlines()[-1]}"
+                for outcome in failed)
+            raise SimulationError(
+                f"{len(failed)} of {len(self.outcomes)} jobs failed: {details}")
+
+    def summary(self) -> str:
+        """One-line human-readable account of hits/computed/failures."""
+        return (f"{len(self.outcomes)} jobs: {self.cache_hits} cache hits, "
+                f"{self.computed} computed, {len(self.failures)} failed")
+
+
+def print_progress(done: int, total: int, outcome: JobOutcome) -> None:
+    """Default progress reporter: one stderr line per finished job."""
+    status = "cached" if outcome.from_cache else (
+        "ok" if outcome.ok else "FAILED")
+    print(f"[runner] {done}/{total} {outcome.spec.label}: {status} "
+          f"({outcome.duration:.2f}s)", file=sys.stderr, flush=True)
+
+
+def _execute_job(spec: JobSpec):
+    """Worker-side execution: never raises, returns (value, error, seconds)."""
+    start = time.perf_counter()
+    try:
+        value = spec.execute()
+        return value, None, time.perf_counter() - start
+    except Exception:  # KeyboardInterrupt/SystemExit must stay interruptive
+        return None, traceback.format_exc(), time.perf_counter() - start
+
+
+def _finish(outcome: JobOutcome, cache: Optional[ResultCache],
+            progress: Optional[ProgressCallback], done: int,
+            total: int) -> None:
+    if cache is not None and outcome.ok and not outcome.from_cache:
+        cache.put(outcome.key, outcome.value, meta={
+            "label": outcome.spec.label,
+            "function": outcome.spec.function_ref,
+            "seed": outcome.spec.seed,
+            "duration": outcome.duration,
+        })
+    if progress is not None:
+        progress(done, total, outcome)
+
+
+def run_jobs(jobs: Sequence[JobSpec], n_jobs: int = 1,
+             cache: Optional[ResultCache] = None,
+             progress: Optional[ProgressCallback] = None) -> MatrixResult:
+    """Execute a job matrix, serially or across worker processes.
+
+    Parameters
+    ----------
+    jobs:
+        The job specifications to run.
+    n_jobs:
+        Number of worker processes; ``1`` runs everything in-process (no
+        pool), which is bit-identical to the parallel path because each
+        job's randomness is fully determined by its spec.
+    cache:
+        Optional :class:`~repro.runner.ResultCache`.  Jobs whose key is
+        present are served from disk without executing; fresh successful
+        results are stored back.
+    progress:
+        Optional callback invoked after every finished job with
+        ``(done_count, total, outcome)``.
+    """
+    jobs = list(jobs)
+    if n_jobs < 1:
+        raise ConfigurationError("n_jobs must be at least 1")
+    total = len(jobs)
+    outcomes: List[Optional[JobOutcome]] = [None] * total
+    done = 0
+
+    # Cache lookup pass: satisfied jobs never reach a worker.
+    pending: List[int] = []
+    for index, spec in enumerate(jobs):
+        key = spec.key
+        if cache is not None:
+            hit, value = cache.get(key)
+            if hit:
+                done += 1
+                outcomes[index] = JobOutcome(spec=spec, key=key, value=value,
+                                             from_cache=True)
+                _finish(outcomes[index], None, progress, done, total)
+                continue
+        pending.append(index)
+
+    if pending and n_jobs == 1:
+        for index in pending:
+            spec = jobs[index]
+            value, error, seconds = _execute_job(spec)
+            done += 1
+            outcomes[index] = JobOutcome(spec=spec, key=spec.key, value=value,
+                                         error=error, duration=seconds)
+            _finish(outcomes[index], cache, progress, done, total)
+    elif pending:
+        workers = min(n_jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(_execute_job, jobs[index]): index
+                       for index in pending}
+            # Harvest in completion order so cache writes and progress are
+            # not head-of-line-blocked by a slow early job; `outcomes` keeps
+            # submission order regardless.
+            for future in as_completed(futures):
+                index = futures[future]
+                spec = jobs[index]
+                try:
+                    value, error, seconds = future.result()
+                except BrokenProcessPool:
+                    value, error, seconds = None, (
+                        "worker process pool broke (worker killed?)"), 0.0
+                except Exception:  # e.g. unpicklable result; Ctrl-C propagates
+                    value, error, seconds = None, traceback.format_exc(), 0.0
+                done += 1
+                outcomes[index] = JobOutcome(spec=spec, key=spec.key,
+                                             value=value, error=error,
+                                             duration=seconds)
+                _finish(outcomes[index], cache, progress, done, total)
+
+    return MatrixResult(outcomes=list(outcomes))

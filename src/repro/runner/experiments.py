@@ -1,0 +1,263 @@
+"""Module-level experiment functions and named job matrices for the CLI.
+
+Every function here is a picklable, importable job callable: it takes a
+:class:`~repro.config.SystemParameters` first, keyword overrides after,
+and returns a JSON-friendly dictionary of headline metrics (so cached
+results live in plain ``result.json`` files).  The registry at the bottom
+maps matrix names (``repro run <name>``) to builders producing a job list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..characteristics import verify_theorem1
+from ..config import GridParameters, SystemParameters, TimeParameters
+from ..control.jrj import jrj_from_parameters
+from ..delay.delayed_model import DelayedSystem
+from ..delay.oscillation import measure_oscillation
+from ..exceptions import ConfigurationError
+from ..multisource import MultiSourceModel, fairness_report
+from ..queueing import MultiHopSimulator, Simulator
+from ..queueing.multihop import parking_lot_scenario
+from ..workloads.scenarios import (
+    homogeneous_sources_scenario,
+    packet_level_jrj_scenario,
+)
+from .grid import build_matrix
+from .spec import JobSpec
+
+__all__ = [
+    "theorem1_point",
+    "density_point",
+    "delay_point",
+    "ensemble_point",
+    "fairness_point",
+    "multihop_point",
+    "packet_point",
+    "MatrixDefinition",
+    "available_matrices",
+    "get_matrix",
+]
+
+
+# ---------------------------------------------------------------------------
+# Job callables.  Keep them module-level and keyword-friendly: the runner
+# addresses them by ``module:qualname`` and hashes their keyword overrides.
+# ---------------------------------------------------------------------------
+
+def theorem1_point(params: SystemParameters,
+                   t_end: Optional[float] = None) -> dict:
+    """Verify Theorem 1 convergence for one parameter combination.
+
+    ``t_end=None`` lets :func:`~repro.characteristics.verify_theorem1` pick
+    its parameter-scaled default horizon.
+    """
+    verification = verify_theorem1(params, t_end=t_end)
+    return {
+        "converges": bool(verification.converges),
+        "final_queue_error": float(verification.final_queue_error),
+        "final_rate_error": float(verification.final_rate_error),
+        "mean_contraction_ratio": float(verification.mean_contraction_ratio),
+    }
+
+
+def density_point(params: SystemParameters, t_end: float = 60.0,
+                  nq: int = 60, nv: int = 48, q_max: float = 40.0,
+                  v_span: float = 1.5, snapshot_every: int = 30) -> dict:
+    """Solve the Fokker-Planck equation and report density moments."""
+    from ..core.solver import FokkerPlanckSolver
+
+    grid = GridParameters(q_max=q_max, nq=nq, v_min=-v_span, v_max=v_span,
+                          nv=nv)
+    control = jrj_from_parameters(params)
+    solver = FokkerPlanckSolver(params, control, grid_params=grid)
+    result = solver.solve_from_point(
+        q0=0.0, rate0=0.5 * params.mu,
+        time_params=TimeParameters(t_end=t_end, dt=max(t_end / 300.0, 0.1),
+                                   snapshot_every=snapshot_every))
+    moments = result.final_moments
+    return {
+        "mean_queue": float(moments.mean_q),
+        "std_queue": float(moments.std_q),
+        "overflow_probability":
+            float(result.overflow_probability(2.0 * params.q_target)),
+        "snapshots": [
+            {
+                "time": float(snapshot.time),
+                "mean_queue": float(snapshot.moments.mean_q),
+                "std_queue": float(snapshot.moments.std_q),
+            }
+            for snapshot in result.snapshots
+        ],
+    }
+
+
+def delay_point(params: SystemParameters, delay: float,
+                t_end: float = 600.0, dt: float = 0.02) -> dict:
+    """Integrate the delayed system and summarise its oscillation."""
+    control = jrj_from_parameters(params)
+    system = DelayedSystem(control, params, delay=float(delay))
+    trajectory = system.solve(q0=0.0, rate0=0.5 * params.mu, t_end=t_end,
+                              dt=dt)
+    summary = measure_oscillation(trajectory)
+    return {
+        "delay": float(summary.delay),
+        "sustained": bool(summary.sustained),
+        "queue_amplitude": float(summary.queue_amplitude),
+        "rate_amplitude": float(summary.rate_amplitude),
+        "period": float(summary.period),
+        "mean_queue": float(summary.mean_queue),
+    }
+
+
+def ensemble_point(params: SystemParameters, seed: int, t_end: float = 60.0,
+                   n_paths: int = 500, dt: float = 0.02) -> dict:
+    """Run a Langevin ensemble and report final-time queue statistics."""
+    from ..stochastic.ensemble import run_ensemble
+
+    ensemble = run_ensemble(jrj_from_parameters(params), params, q0=0.0,
+                            rate0=0.5 * params.mu, t_end=t_end, dt=dt,
+                            n_paths=n_paths, seed=seed)
+    samples = ensemble.final_queue_samples()
+    return {
+        "mean_queue": float(np.mean(samples)),
+        "std_queue": float(np.std(samples)),
+        "overflow_probability":
+            float(ensemble.overflow_probability(2.0 * params.q_target)),
+    }
+
+
+def fairness_point(params: SystemParameters, n_sources: int = 4,
+                   t_end: float = 700.0) -> dict:
+    """Multi-source fairness metrics for *n_sources* identical sources."""
+    scenario_params, sources = homogeneous_sources_scenario(
+        n_sources=n_sources, mu=params.mu, q_target=params.q_target,
+        c0=params.c0, c1=params.c1)
+    trajectory = MultiSourceModel(sources, scenario_params).solve(
+        t_end=t_end, dt=0.05)
+    report = fairness_report(trajectory, sources)
+    return {
+        "n_sources": int(n_sources),
+        "jain_index": float(report.jain_index),
+        "rows": report.rows(),
+    }
+
+
+def multihop_point(extra_hops: int = 2, duration: float = 300.0,
+                   service_rate: float = 10.0) -> dict:
+    """Parking-lot multihop unfairness metrics (no continuous parameters)."""
+    config = parking_lot_scenario(n_extra_hops=extra_hops,
+                                  service_rate=service_rate)
+    result = MultiHopSimulator(config).run(duration=duration)
+    return {
+        "extra_hops": int(extra_hops),
+        "long_to_short_ratio": float(result.long_to_short_ratio()),
+        "jain_index": float(result.fairness_index()),
+        "throughput_by_hops": [
+            {"route": name, "hops": int(hops), "throughput": float(tp)}
+            for hops, name, tp in result.throughput_by_hop_count()
+        ],
+    }
+
+
+def packet_point(seed: int = 0, n_sources: int = 2, duration: float = 200.0,
+                 service_rate: float = 10.0) -> dict:
+    """Packet-level DES run with JRJ rate sources; per-source throughput."""
+    config = packet_level_jrj_scenario(n_sources=n_sources,
+                                       service_rate=service_rate,
+                                       seed=int(seed))
+    result = Simulator(config).run(duration=duration)
+    return {
+        "throughputs": [float(tp) for tp in result.throughput_list()],
+        "mean_queue": float(result.mean_queue_length),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Named matrices for ``repro run``.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MatrixDefinition:
+    """A named, CLI-runnable job matrix."""
+
+    name: str
+    description: str
+    build: Callable[..., List[JobSpec]]
+
+
+def _density_grid(params: SystemParameters, seed: Optional[int],
+                  t_end: Optional[float]) -> List[JobSpec]:
+    return build_matrix(
+        density_point, params,
+        axes={"sigma": [0.2, 0.5, 0.8], "c1": [0.1, 0.2, 0.4, 0.8]},
+        fixed={"t_end": t_end if t_end is not None else 60.0,
+               "nq": 50, "nv": 40},
+        master_seed=seed)
+
+
+def _delay_grid(params: SystemParameters, seed: Optional[int],
+                t_end: Optional[float]) -> List[JobSpec]:
+    return build_matrix(
+        delay_point, params,
+        axes={"delay": [0.0, 1.0, 2.0, 4.0], "c1": [0.1, 0.2, 0.4]},
+        fixed={"t_end": t_end if t_end is not None else 400.0, "dt": 0.05},
+        master_seed=seed)
+
+
+def _ensemble_grid(params: SystemParameters, seed: Optional[int],
+                   t_end: Optional[float]) -> List[JobSpec]:
+    return build_matrix(
+        ensemble_point, params,
+        axes={"sigma": [0.2, 0.4, 0.6, 0.8], "c0": [0.025, 0.05, 0.1]},
+        fixed={"t_end": t_end if t_end is not None else 40.0,
+               "n_paths": 400},
+        master_seed=seed if seed is not None else 1991)
+
+
+def _theorem1_grid(params: SystemParameters, seed: Optional[int],
+                   t_end: Optional[float]) -> List[JobSpec]:
+    return build_matrix(
+        theorem1_point, params,
+        axes={"c0": [0.025, 0.05, 0.1, 0.2],
+              "c1": [0.1, 0.2, 0.4]},
+        fixed={"t_end": t_end if t_end is not None else 400.0},
+        master_seed=seed)
+
+
+_MATRICES: Dict[str, MatrixDefinition] = {
+    "density-grid": MatrixDefinition(
+        "density-grid",
+        "Fokker-Planck final moments over a sigma x c1 grid (12 jobs)",
+        _density_grid),
+    "delay-grid": MatrixDefinition(
+        "delay-grid",
+        "delayed-feedback oscillation metrics over delay x c1 (12 jobs)",
+        _delay_grid),
+    "ensemble-grid": MatrixDefinition(
+        "ensemble-grid",
+        "Langevin ensemble statistics over sigma x c0 (12 jobs, seeded)",
+        _ensemble_grid),
+    "theorem1-grid": MatrixDefinition(
+        "theorem1-grid",
+        "Theorem 1 convergence over c0 x c1 (12 jobs)",
+        _theorem1_grid),
+}
+
+
+def available_matrices() -> List[MatrixDefinition]:
+    """All registered matrices, sorted by name."""
+    return [_MATRICES[name] for name in sorted(_MATRICES)]
+
+
+def get_matrix(name: str) -> MatrixDefinition:
+    """Look up a matrix definition by name."""
+    if name not in _MATRICES:
+        known = ", ".join(sorted(_MATRICES))
+        raise ConfigurationError(
+            f"unknown experiment matrix {name!r} (available: {known})")
+    return _MATRICES[name]

@@ -1,0 +1,69 @@
+"""Canonical JSON encoding and content hashing for job specifications.
+
+A job's cache key must be *stable*: the same logical job -- same callable,
+same parameters, same overrides, same seed -- must hash to the same string
+in every process, on every run, regardless of dictionary insertion order.
+The encoder here therefore sorts mapping keys, normalises numpy scalar
+types to their Python equivalents, and rejects values whose serialisation
+would be ambiguous (arbitrary objects, NaN sentinels used as keys, ...).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from typing import Any
+
+import numpy as np
+
+from ..config import ParameterDictMixin
+from ..exceptions import ConfigurationError
+
+__all__ = ["canonical_json", "content_hash"]
+
+
+def _normalise(value: Any) -> Any:
+    """Convert *value* to a canonical, JSON-representable form."""
+    if isinstance(value, ParameterDictMixin):
+        return _normalise(value.to_dict())
+    if isinstance(value, dict):
+        normalised = {}
+        for key in sorted(value):
+            if not isinstance(key, str):
+                raise ConfigurationError(
+                    f"canonical JSON requires string keys, got {key!r}")
+            normalised[key] = _normalise(value[key])
+        return normalised
+    if isinstance(value, (list, tuple)):
+        return [_normalise(item) for item in value]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return _normalise(float(value))
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, float):
+        # repr round-trips doubles exactly; encode the two non-finite cases
+        # as tagged strings so the hash never depends on json's NaN quirks.
+        if math.isnan(value):
+            return {"__float__": "nan"}
+        if math.isinf(value):
+            return {"__float__": "inf" if value > 0 else "-inf"}
+        return value
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    raise ConfigurationError(
+        f"value of type {type(value).__name__} cannot be canonically "
+        f"serialised for hashing: {value!r}")
+
+
+def canonical_json(value: Any) -> str:
+    """Serialise *value* to a canonical (sorted, compact) JSON string."""
+    return json.dumps(_normalise(value), sort_keys=True,
+                      separators=(",", ":"), allow_nan=False)
+
+
+def content_hash(value: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON form of *value*."""
+    return hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()

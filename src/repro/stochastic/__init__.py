@@ -14,11 +14,17 @@ approximation.
 """
 
 from .langevin import LangevinModel
-from .ensemble import EnsembleResult, run_ensemble, compare_with_density
+from .ensemble import (
+    EnsembleResult,
+    compare_with_density,
+    run_ensemble,
+    shard_sizes,
+)
 
 __all__ = [
     "LangevinModel",
     "EnsembleResult",
     "run_ensemble",
+    "shard_sizes",
     "compare_with_density",
 ]

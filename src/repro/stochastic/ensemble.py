@@ -1,9 +1,19 @@
-"""Ensemble summaries and comparison against the Fokker-Planck density."""
+"""Ensemble summaries and comparison against the Fokker-Planck density.
+
+Large ensembles can be *sharded*: passing ``seed=`` (instead of ``rng=``)
+to :func:`run_ensemble` splits the particle population into independently
+seeded shards whose seeds come from the spawn-key derivation in
+:mod:`repro.queueing.random_streams`.  Shard ``i`` depends only on
+``(seed, i, its particle count)``, so results are reproducible and
+bit-identical whether the shards run serially or across worker processes
+(``n_jobs > 1``).
+"""
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
@@ -11,12 +21,19 @@ from ..config import SystemParameters
 from ..control.base import RateControl
 from ..core.moments import marginal_q
 from ..core.solver import FokkerPlanckResult
-from ..exceptions import AnalysisError
+from ..exceptions import AnalysisError, ConfigurationError
 from ..numerics.sde import SDEPaths
 from ..numerics.stats import empirical_density
+from ..queueing.random_streams import child_seed_sequences
 from .langevin import LangevinModel
 
-__all__ = ["EnsembleResult", "run_ensemble", "compare_with_density"]
+__all__ = ["EnsembleResult", "run_ensemble", "compare_with_density",
+           "shard_sizes"]
+
+#: Shard count used when ``seed=`` is given without an explicit ``n_shards``.
+#: A fixed constant (never ``n_jobs``) so the sharded result is identical no
+#: matter how many workers execute it.
+DEFAULT_SHARDS = 8
 
 
 @dataclass
@@ -70,15 +87,89 @@ class EnsembleResult:
         return float(np.mean(samples > threshold))
 
 
+def shard_sizes(n_paths: int, n_shards: int) -> List[int]:
+    """Split *n_paths* into *n_shards* near-equal, deterministic shard sizes.
+
+    The first ``n_paths % n_shards`` shards carry one extra particle, so the
+    split depends only on the two counts -- never on execution order.
+    """
+    if n_paths < 1:
+        raise ConfigurationError("n_paths must be at least 1")
+    if n_shards < 1:
+        raise ConfigurationError("n_shards must be at least 1")
+    if n_shards > n_paths:
+        n_shards = n_paths
+    base, extra = divmod(n_paths, n_shards)
+    return [base + (1 if index < extra else 0) for index in range(n_shards)]
+
+
+def _simulate_shard(control: RateControl, params: SystemParameters,
+                    q0: float, rate0: float, t_end: float, dt: float,
+                    n_paths: int, feedback_delay: float,
+                    seed_sequence: np.random.SeedSequence) -> SDEPaths:
+    """Run one shard of an ensemble (module-level so it can cross processes)."""
+    model = LangevinModel(control, params, feedback_delay=feedback_delay)
+    return model.simulate(q0=q0, rate0=rate0, t_end=t_end, dt=dt,
+                          n_paths=n_paths,
+                          rng=np.random.default_rng(seed_sequence))
+
+
 def run_ensemble(control: RateControl, params: SystemParameters, q0: float,
                  rate0: float, t_end: float, dt: float = 0.02,
                  n_paths: int = 2000, feedback_delay: float = 0.0,
-                 rng: Optional[np.random.Generator] = None) -> EnsembleResult:
-    """Run a Langevin ensemble with the given control law and parameters."""
-    model = LangevinModel(control, params, feedback_delay=feedback_delay)
-    paths = model.simulate(q0=q0, rate0=rate0, t_end=t_end, dt=dt,
-                           n_paths=n_paths, rng=rng)
-    return EnsembleResult(paths=paths, mu=params.mu)
+                 rng: Optional[np.random.Generator] = None,
+                 seed: Optional[int] = None,
+                 n_shards: Optional[int] = None,
+                 n_jobs: int = 1) -> EnsembleResult:
+    """Run a Langevin ensemble with the given control law and parameters.
+
+    Two execution modes:
+
+    * **single-stream** (default, backwards compatible): all particles share
+      one generator, supplied via *rng* (or a fixed default);
+    * **sharded** (``seed`` given): particles are split into ``n_shards``
+      shards (default :data:`DEFAULT_SHARDS` -- deliberately *not* tied to
+      ``n_jobs``), each with its own spawn-key-derived child stream,
+      optionally simulated across ``n_jobs`` worker processes.  For fixed
+      ``(seed, n_paths, n_shards)`` the combined paths are bit-identical
+      regardless of ``n_jobs``.
+    """
+    if seed is not None and rng is not None:
+        raise ConfigurationError("pass either rng= or seed=, not both")
+    if seed is None and (n_jobs > 1 or (n_shards or 1) > 1):
+        raise ConfigurationError(
+            "sharded/parallel ensembles need an explicit seed= so shard "
+            "streams can be derived deterministically")
+
+    if seed is None:
+        model = LangevinModel(control, params, feedback_delay=feedback_delay)
+        paths = model.simulate(q0=q0, rate0=rate0, t_end=t_end, dt=dt,
+                               n_paths=n_paths, rng=rng)
+        return EnsembleResult(paths=paths, mu=params.mu)
+
+    if n_shards is None:
+        n_shards = DEFAULT_SHARDS
+    sizes = shard_sizes(n_paths, n_shards)
+    seeds = child_seed_sequences(seed, len(sizes), key=("ensemble",))
+
+    if n_jobs > 1 and len(sizes) > 1:
+        with ProcessPoolExecutor(max_workers=min(n_jobs, len(sizes))) as pool:
+            futures = [pool.submit(_simulate_shard, control, params, q0,
+                                   rate0, t_end, dt, size, feedback_delay,
+                                   shard_seed)
+                       for size, shard_seed in zip(sizes, seeds)]
+            shards = [future.result() for future in futures]
+    else:
+        shards = [_simulate_shard(control, params, q0, rate0, t_end, dt,
+                                  size, feedback_delay, shard_seed)
+                  for size, shard_seed in zip(sizes, seeds)]
+
+    # Shards are concatenated in shard-index order (never completion order),
+    # which is what makes the result independent of scheduling.
+    combined = SDEPaths(times=shards[0].times,
+                        paths=np.concatenate([shard.paths for shard in shards],
+                                             axis=1))
+    return EnsembleResult(paths=combined, mu=params.mu)
 
 
 def compare_with_density(ensemble: EnsembleResult,

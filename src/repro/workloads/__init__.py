@@ -14,7 +14,7 @@ from .scenarios import (
     packet_level_jrj_scenario,
     packet_level_window_scenario,
 )
-from .sweep import ParameterSweep, run_sweep
+from .sweep import GridSweep, ParameterSweep, run_grid, run_sweep
 from .traffic import (
     OnOffArrivals,
     PoissonArrivals,
@@ -34,5 +34,7 @@ __all__ = [
     "packet_level_jrj_scenario",
     "packet_level_window_scenario",
     "ParameterSweep",
+    "GridSweep",
     "run_sweep",
+    "run_grid",
 ]

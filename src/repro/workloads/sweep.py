@@ -1,13 +1,21 @@
-"""Generic parameter-sweep runner."""
+"""Generic parameter-sweep and parameter-grid runners.
+
+Historically this module offered :func:`run_sweep` over a single scalar
+parameter.  It now generalises to full cartesian matrices via
+:func:`run_grid` (with optional worker-process parallelism and result
+caching through :mod:`repro.runner`), while the original single-parameter
+form of :func:`run_sweep` keeps working as a thin legacy shim.
+"""
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, List, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 from ..exceptions import ConfigurationError
 
-__all__ = ["ParameterSweep", "run_sweep"]
+__all__ = ["ParameterSweep", "GridSweep", "run_sweep", "run_grid"]
 
 
 @dataclass
@@ -42,20 +50,114 @@ class ParameterSweep:
         return rows
 
 
-def run_sweep(parameter_name: str, values: Sequence[float],
-              evaluate: Callable[[float], object]) -> ParameterSweep:
-    """Evaluate *evaluate* at every value and collect the results in order.
+@dataclass
+class GridSweep:
+    """Results of evaluating a callable over a multi-parameter grid.
+
+    Attributes
+    ----------
+    axes:
+        The swept axes: name -> list of values, in sweep order.
+    points:
+        One dictionary per grid point, in deterministic row-major order
+        (first axis slowest).
+    results:
+        One result object per point.
+    """
+
+    axes: Dict[str, List[Any]]
+    points: List[Dict[str, Any]] = field(default_factory=list)
+    results: List[object] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @property
+    def parameter_names(self) -> List[str]:
+        """Names of the swept axes, in sweep order."""
+        return list(self.axes)
+
+    def rows(self, extractor: Callable[[object], dict]) -> List[dict]:
+        """Build table rows: grid-point coordinates plus extracted metrics."""
+        rows = []
+        for point, result in zip(self.points, self.results):
+            row = dict(point)
+            row.update(extractor(result))
+            rows.append(row)
+        return rows
+
+
+def run_grid(axes: Mapping[str, Sequence[Any]],
+             evaluate: Callable[..., object],
+             n_jobs: int = 1,
+             cache: Optional[object] = None) -> GridSweep:
+    """Evaluate *evaluate* at every point of the cartesian grid *axes*.
 
     Parameters
     ----------
-    parameter_name:
-        Label for the swept parameter.
-    values:
-        Values to evaluate (must be non-empty).
+    axes:
+        Mapping of parameter name to the values it sweeps (all non-empty).
     evaluate:
-        Callable mapping one parameter value to a result object.
+        Callable invoked with one keyword argument per axis, e.g.
+        ``evaluate(c0=0.05, delay=2.0)``.
+    n_jobs:
+        Number of worker processes.  Values above one delegate execution to
+        :func:`repro.runner.run_jobs`, which requires *evaluate* to be a
+        picklable module-level function.
+    cache:
+        Optional :class:`repro.runner.ResultCache`; implies the runner path
+        even when ``n_jobs == 1``.
     """
-    values = list(values)
+    from ..runner.grid import expand_grid  # local import: keep layering thin
+
+    points = expand_grid(axes)
+    sweep = GridSweep(axes={name: list(values) for name, values in axes.items()},
+                      points=points)
+    if n_jobs == 1 and cache is None:
+        sweep.results = [evaluate(**point) for point in points]
+        return sweep
+
+    from ..runner.executor import run_jobs
+    from ..runner.spec import JobSpec
+
+    jobs = [JobSpec(function=evaluate, params=None,
+                    overrides=tuple(sorted(point.items())))
+            for point in points]
+    sweep.results = run_jobs(jobs, n_jobs=n_jobs, cache=cache).values
+    return sweep
+
+
+def run_sweep(parameter_name: Union[str, Mapping[str, Sequence[Any]]],
+              values: Optional[Sequence[float]] = None,
+              evaluate: Optional[Callable[..., object]] = None,
+              n_jobs: int = 1) -> Union[ParameterSweep, GridSweep]:
+    """Evaluate a callable over a sweep and collect the results in order.
+
+    Two forms are accepted:
+
+    * ``run_sweep({"c0": [...], "delay": [...]}, evaluate=fn)`` -- the
+      general multi-parameter grid; ``fn`` receives keyword arguments and a
+      :class:`GridSweep` is returned.
+    * ``run_sweep("x", [1.0, 2.0], evaluate=fn)`` -- the legacy
+      single-parameter form; ``fn`` receives the bare value and a
+      :class:`ParameterSweep` is returned.  This shim stays for existing
+      call sites but new code should pass a grid (or use
+      :func:`run_grid` directly).
+    """
+    if evaluate is None:
+        raise ConfigurationError("run_sweep needs an evaluate callable")
+
+    if isinstance(parameter_name, Mapping):
+        if values is not None:
+            raise ConfigurationError(
+                "grid form takes axes and evaluate only (no separate values)")
+        return run_grid(parameter_name, evaluate, n_jobs=n_jobs)
+
+    warnings.warn(
+        "run_sweep(name, values, evaluate) is the legacy single-parameter "
+        "form; pass a grid mapping (or use run_grid) instead",
+        DeprecationWarning, stacklevel=2)
+    values = list(values) if values is not None else []
     if not values:
         raise ConfigurationError("sweep needs at least one value")
     sweep = ParameterSweep(parameter_name=parameter_name)

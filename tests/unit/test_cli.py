@@ -13,6 +13,11 @@ class TestParser:
             args = parser.parse_args([command])
             assert args.command == command
 
+    def test_run_and_cache_subcommands_registered(self):
+        parser = build_parser()
+        assert parser.parse_args(["run", "--list"]).command == "run"
+        assert parser.parse_args(["cache", "info"]).command == "cache"
+
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
@@ -26,22 +31,31 @@ class TestParser:
         assert args.c0 == 0.1
         assert args.c1 == 0.4
 
+    def test_runner_options_parsed(self):
+        args = build_parser().parse_args(
+            ["delay-sweep", "--jobs", "4", "--no-cache",
+             "--cache-dir", "/tmp/somewhere"])
+        assert args.jobs == 4
+        assert args.no_cache is True
+        assert args.cache_dir == "/tmp/somewhere"
+
 
 class TestCommands:
     def test_theorem1_command(self, capsys):
-        exit_code = main(["theorem1"])
+        exit_code = main(["theorem1", "--no-cache"])
         output = capsys.readouterr().out
         assert exit_code == 0
         assert "converges" in output
 
     def test_theorem1_with_portrait(self, capsys):
-        exit_code = main(["theorem1", "--portrait"])
+        exit_code = main(["theorem1", "--portrait", "--no-cache"])
         output = capsys.readouterr().out
         assert exit_code == 0
         assert "q = q_target" in output
 
     def test_density_command(self, capsys):
-        exit_code = main(["density", "--sigma", "0.3", "--t-end", "30"])
+        exit_code = main(["density", "--sigma", "0.3", "--t-end", "30",
+                          "--no-cache"])
         output = capsys.readouterr().out
         assert exit_code == 0
         assert "mean_queue" in output
@@ -49,21 +63,91 @@ class TestCommands:
 
     def test_delay_sweep_command(self, capsys):
         exit_code = main(["delay-sweep", "--delays", "0", "4",
-                          "--t-end", "300"])
+                          "--t-end", "300", "--no-cache"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "queue_amplitude" in output
+
+    def test_delay_sweep_parallel_jobs(self, capsys):
+        exit_code = main(["delay-sweep", "--delays", "0", "4",
+                          "--t-end", "200", "--jobs", "2", "--no-cache"])
         output = capsys.readouterr().out
         assert exit_code == 0
         assert "queue_amplitude" in output
 
     def test_fairness_command(self, capsys):
-        exit_code = main(["fairness", "--sources", "3", "--t-end", "300"])
+        exit_code = main(["fairness", "--sources", "3", "--t-end", "300",
+                          "--no-cache"])
         output = capsys.readouterr().out
         assert exit_code == 0
         assert "Jain index" in output
 
     def test_multihop_command(self, capsys):
         exit_code = main(["multihop", "--extra-hops", "1",
-                          "--duration", "100"])
+                          "--duration", "100", "--no-cache"])
         output = capsys.readouterr().out
         assert exit_code == 0
         assert "throughput" in output
         assert "long/short" in output
+
+    def test_subcommand_reads_cache_on_second_run(self, capsys, tmp_path):
+        args = ["density", "--sigma", "0.3", "--t-end", "20",
+                "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0
+        info = capsys.readouterr().out
+        assert "entries" in info
+
+
+class TestRunCommand:
+    def test_list_matrices(self, capsys):
+        exit_code = main(["run", "--list"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        for name in ("density-grid", "delay-grid", "ensemble-grid",
+                     "theorem1-grid"):
+            assert name in output
+
+    def test_run_without_matrix_errors(self, capsys):
+        assert main(["run"]) == 2
+
+    def test_unknown_matrix_rejected(self, capsys):
+        assert main(["run", "no-such-grid", "--no-cache"]) == 2
+        assert "unknown experiment matrix" in capsys.readouterr().err
+
+    def test_matrix_parallel_then_fully_cached(self, capsys, tmp_path):
+        """Acceptance: >=12 jobs in parallel, then served entirely from cache."""
+        args = ["run", "density-grid", "--t-end", "15", "--jobs", "2",
+                "--seed", "3", "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "cache hits     : 0" in first
+        assert "computed       : 12" in first
+
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "cache hits     : 12" in second
+        assert "computed       : 0" in second
+
+        # The tabulated physics numbers are identical in both runs.
+        first_rows = [line for line in first.splitlines() if "sigma=" in line]
+        second_rows = [line.replace("cached", "ok    ")
+                       for line in second.splitlines() if "sigma=" in line]
+        assert [row.split("|")[2:] for row in first_rows] == \
+            [row.split("|")[2:] for row in second_rows]
+
+    def test_cache_list_and_clear(self, capsys, tmp_path):
+        run_args = ["run", "theorem1-grid", "--t-end", "150",
+                    "--cache-dir", str(tmp_path)]
+        assert main(run_args) == 0
+        capsys.readouterr()
+        assert main(["cache", "list", "--cache-dir", str(tmp_path)]) == 0
+        listing = capsys.readouterr().out
+        assert "theorem1_point" in listing
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        cleared = capsys.readouterr().out
+        assert "removed 12" in cleared

@@ -1,5 +1,7 @@
 """Unit tests for the parameter dataclasses in repro.config."""
 
+import json
+
 import pytest
 
 from repro import (
@@ -10,6 +12,7 @@ from repro import (
     SystemParameters,
     TimeParameters,
 )
+from repro.config import parameters_from_dict
 
 
 class TestSystemParameters:
@@ -144,3 +147,58 @@ class TestDelayParameters:
     def test_non_positive_history_dt_rejected(self):
         with pytest.raises(ConfigurationError):
             DelayParameters(history_dt=0.0)
+
+
+class TestDictRoundTrip:
+    EXAMPLES = [
+        SystemParameters(mu=2.0, q_target=5.0, c0=0.1, c1=0.3, sigma=0.4),
+        GridParameters(q_max=25.0, nq=50, v_min=-2.0, v_max=2.0, nv=40),
+        TimeParameters(t_end=50.0, dt=0.1, cfl=0.5, snapshot_every=5),
+        SourceParameters(c0=0.02, c1=0.4, delay=1.5, initial_rate=0.2,
+                         name="src-a"),
+        DelayParameters(delay=3.0, history_dt=0.02),
+    ]
+
+    @pytest.mark.parametrize("params", EXAMPLES,
+                             ids=lambda p: type(p).__name__)
+    def test_round_trip_is_identity(self, params):
+        revived = type(params).from_dict(params.to_dict())
+        assert revived == params
+
+    @pytest.mark.parametrize("params", EXAMPLES,
+                             ids=lambda p: type(p).__name__)
+    def test_to_dict_is_json_serialisable(self, params):
+        data = params.to_dict()
+        assert data["__parameters__"] == type(params).__name__
+        assert json.loads(json.dumps(data)) == data
+
+    def test_parameters_from_dict_dispatches_on_tag(self):
+        params = SystemParameters(sigma=0.7)
+        revived = parameters_from_dict(params.to_dict())
+        assert isinstance(revived, SystemParameters)
+        assert revived == params
+
+    def test_from_dict_without_tag_accepted(self):
+        revived = SystemParameters.from_dict({"mu": 2.0, "q_target": 4.0})
+        assert revived.mu == 2.0 and revived.q_target == 4.0
+
+    def test_wrong_tag_rejected(self):
+        data = SystemParameters().to_dict()
+        with pytest.raises(ConfigurationError):
+            GridParameters.from_dict(data)
+
+    def test_unknown_field_rejected(self):
+        data = SystemParameters().to_dict()
+        data["bogus"] = 1.0
+        with pytest.raises(ConfigurationError):
+            SystemParameters.from_dict(data)
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parameters_from_dict({"__parameters__": "NoSuchParameters"})
+
+    def test_round_trip_still_validates(self):
+        data = SystemParameters().to_dict()
+        data["mu"] = -1.0
+        with pytest.raises(ConfigurationError):
+            SystemParameters.from_dict(data)

@@ -119,6 +119,62 @@ class TestRandomStreams:
         with pytest.raises(ConfigurationError):
             RandomStreams(1).exponential("x", 0.0)
 
+    def test_streams_do_not_depend_on_request_order(self):
+        forward = RandomStreams(seed=5)
+        backward = RandomStreams(seed=5)
+        a_then_b = (forward.exponential("a", 1.0),
+                    forward.exponential("b", 1.0))
+        b_then_a = (backward.exponential("b", 1.0),
+                    backward.exponential("a", 1.0))
+        assert a_then_b[0] == b_then_a[1]
+        assert a_then_b[1] == b_then_a[0]
+
+
+class TestChildSeedDerivation:
+    def test_derivation_is_deterministic(self):
+        from repro.queueing import derive_child_seed
+
+        assert derive_child_seed(42, (3,)) == derive_child_seed(42, (3,))
+        assert derive_child_seed(42, (3,)) != derive_child_seed(42, (4,))
+        assert derive_child_seed(42, (3,)) != derive_child_seed(43, (3,))
+
+    def test_children_independent_of_sibling_count(self):
+        from repro.queueing import derive_child_seed, derive_child_seeds
+
+        few = derive_child_seeds(7, 2)
+        many = derive_child_seeds(7, 8)
+        assert few == many[:2]
+        # Spawn-key based: child i is addressable without enumerating 0..i-1.
+        assert many[5] == derive_child_seed(7, (5,))
+
+    def test_not_plain_seed_plus_i(self):
+        from repro.queueing import derive_child_seeds
+
+        seeds = derive_child_seeds(1000, 4)
+        assert seeds != [1000 + i for i in range(4)]
+        assert len(set(seeds)) == 4
+
+    def test_string_key_elements_are_stable(self):
+        from repro.queueing import child_seed_sequence
+
+        state_a = child_seed_sequence(9, ("ensemble", 0)).generate_state(4)
+        state_b = child_seed_sequence(9, ("ensemble", 0)).generate_state(4)
+        state_c = child_seed_sequence(9, ("other", 0)).generate_state(4)
+        assert state_a.tolist() == state_b.tolist()
+        assert state_a.tolist() != state_c.tolist()
+
+    def test_invalid_keys_rejected(self):
+        from repro.queueing import child_seed_sequence, child_seed_sequences
+
+        with pytest.raises(ConfigurationError):
+            child_seed_sequence(-1, (0,))
+        with pytest.raises(ConfigurationError):
+            child_seed_sequence(1, (-2,))
+        with pytest.raises(ConfigurationError):
+            child_seed_sequence(1, (1.5,))
+        with pytest.raises(ConfigurationError):
+            child_seed_sequences(1, 0)
+
 
 class TestTimeSeriesTrace:
     def test_time_average_of_piecewise_constant(self):

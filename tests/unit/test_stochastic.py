@@ -53,6 +53,91 @@ class TestLangevinModel:
         assert np.max(tail) - np.min(tail) > 2.0
 
 
+class TestShardedEnsemble:
+    def test_shard_sizes_partition_paths(self):
+        from repro.stochastic import shard_sizes
+
+        assert shard_sizes(10, 3) == [4, 3, 3]
+        assert shard_sizes(8, 4) == [2, 2, 2, 2]
+        assert sum(shard_sizes(101, 7)) == 101
+        # More shards than paths degrades gracefully.
+        assert shard_sizes(2, 5) == [1, 1]
+
+    def test_shard_sizes_validation(self):
+        from repro.exceptions import ConfigurationError
+        from repro.stochastic import shard_sizes
+
+        with pytest.raises(ConfigurationError):
+            shard_sizes(0, 2)
+        with pytest.raises(ConfigurationError):
+            shard_sizes(5, 0)
+
+    def test_seeded_ensemble_reproducible(self, noisy_params, jrj_control):
+        first = run_ensemble(jrj_control, noisy_params, q0=0.0, rate0=0.5,
+                             t_end=10.0, dt=0.05, n_paths=40, seed=123,
+                             n_shards=4)
+        second = run_ensemble(jrj_control, noisy_params, q0=0.0, rate0=0.5,
+                              t_end=10.0, dt=0.05, n_paths=40, seed=123,
+                              n_shards=4)
+        np.testing.assert_array_equal(first.paths.paths, second.paths.paths)
+
+    def test_default_shard_count_independent_of_workers(self, noisy_params,
+                                                        jrj_control):
+        # No explicit n_shards: the default must not follow n_jobs, or the
+        # same seed would give different numbers on different machines.
+        serial = run_ensemble(jrj_control, noisy_params, q0=0.0, rate0=0.5,
+                              t_end=5.0, dt=0.05, n_paths=24, seed=9,
+                              n_jobs=1)
+        parallel = run_ensemble(jrj_control, noisy_params, q0=0.0, rate0=0.5,
+                                t_end=5.0, dt=0.05, n_paths=24, seed=9,
+                                n_jobs=2)
+        np.testing.assert_array_equal(serial.paths.paths,
+                                      parallel.paths.paths)
+
+    def test_parallel_shards_bit_identical_to_serial(self, noisy_params,
+                                                     jrj_control):
+        serial = run_ensemble(jrj_control, noisy_params, q0=0.0, rate0=0.5,
+                              t_end=10.0, dt=0.05, n_paths=40, seed=123,
+                              n_shards=4, n_jobs=1)
+        parallel = run_ensemble(jrj_control, noisy_params, q0=0.0, rate0=0.5,
+                                t_end=10.0, dt=0.05, n_paths=40, seed=123,
+                                n_shards=4, n_jobs=2)
+        np.testing.assert_array_equal(serial.paths.paths,
+                                      parallel.paths.paths)
+
+    def test_shard_streams_order_independent(self, noisy_params, jrj_control):
+        from repro.queueing import child_seed_sequence
+        from repro.stochastic.ensemble import _simulate_shard, shard_sizes
+
+        n_paths, n_shards, seed = 40, 4, 123
+        combined = run_ensemble(jrj_control, noisy_params, q0=0.0, rate0=0.5,
+                                t_end=10.0, dt=0.05, n_paths=n_paths,
+                                seed=seed, n_shards=n_shards)
+        # Shard 2 recomputed in isolation (no siblings ever created) must
+        # reproduce its slice of the combined ensemble exactly.
+        sizes = shard_sizes(n_paths, n_shards)
+        alone = _simulate_shard(jrj_control, noisy_params, 0.0, 0.5, 10.0,
+                                0.05, sizes[2], 0.0,
+                                child_seed_sequence(seed, ("ensemble", 2)))
+        start = sum(sizes[:2])
+        np.testing.assert_array_equal(
+            combined.paths.paths[:, start:start + sizes[2], :], alone.paths)
+
+    def test_seed_and_rng_are_exclusive(self, noisy_params, jrj_control, rng):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            run_ensemble(jrj_control, noisy_params, q0=0.0, rate0=0.5,
+                         t_end=5.0, n_paths=10, seed=1, rng=rng)
+
+    def test_parallel_requires_seed(self, noisy_params, jrj_control):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            run_ensemble(jrj_control, noisy_params, q0=0.0, rate0=0.5,
+                         t_end=5.0, n_paths=10, n_jobs=2)
+
+
 class TestEnsembleHelpers:
     def test_run_ensemble_summary_properties(self, noisy_params, jrj_control,
                                              rng):

@@ -1,0 +1,238 @@
+"""Fokker-Planck hot-path benchmark: seed implementation versus optimized.
+
+Times one ``solve_from_point`` on the canonical density-evolution config at
+``nq=200 x nv=101`` (the E4 experiment scale) twice per round:
+
+* ``seed``  -- a faithful inline copy of the seed implementation (commit
+  ``c0f79ee``): per-substep Thomas elimination, re-allocated flux arrays,
+  per-call CFL reductions;
+* ``optimized`` -- the current :class:`repro.core.solver.FokkerPlanckSolver`
+  hot path (cached tridiagonal/dense CN operators, preallocated kernels).
+
+Rounds are interleaved so machine-load drift affects both sides equally,
+and the minimum per side is reported (the least-noise estimator).  The
+measurement record is printed and written to ``BENCH_fp_hot_path.json`` at
+the repository root so the performance trajectory can be tracked in-tree.
+
+The assertions guard *correctness only* (the optimized final moments must
+match the seed to <= 1e-12); the timing is recorded, not asserted, so a
+loaded CI machine cannot turn a measurement into a test failure.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    FokkerPlanckSolver,
+    GridParameters,
+    JRJControl,
+    SystemParameters,
+    TimeParameters,
+)
+from repro.core.moments import compute_moments
+from repro.exceptions import ConvergenceError
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+OUTPUT_PATH = REPO_ROOT / "BENCH_fp_hot_path.json"
+
+PARAMS = SystemParameters(mu=1.0, q_target=10.0, c0=0.05, c1=0.2, sigma=0.5)
+GRID = GridParameters(q_max=40.0, nq=200, v_min=-1.5, v_max=1.5, nv=101)
+TIME = TimeParameters(t_end=60.0, dt=0.5, snapshot_every=10)
+Q0, RATE0 = 0.0, 0.5
+ROUNDS = 5
+
+
+# --------------------------------------------------------------------------
+# Faithful copy of the seed hot path (commit c0f79ee).  Kept verbatim in
+# spirit: per-call eliminations, allocations and reductions exactly as the
+# seed performed them, including the uncached grid-property recomputations.
+# --------------------------------------------------------------------------
+
+def _seed_v_centers(grid):
+    v_grid = grid.v_grid
+    return v_grid.lower + (np.arange(v_grid.n) + 0.5) * v_grid.dx
+
+
+def _seed_solve_tridiagonal(lower, diag, upper, rhs):
+    lower = np.asarray(lower, dtype=float)
+    diag = np.asarray(diag, dtype=float)
+    upper = np.asarray(upper, dtype=float)
+    rhs = np.asarray(rhs, dtype=float)
+    n = diag.shape[0]
+    b = rhs.reshape(n, -1).copy()
+    c_prime = np.zeros(n)
+    pivot = diag[0]
+    if abs(pivot) < 1e-300:
+        raise ConvergenceError("tridiagonal solve hit a zero pivot at row 0")
+    c_prime[0] = upper[0] / pivot
+    b[0] /= pivot
+    for i in range(1, n):
+        pivot = diag[i] - lower[i] * c_prime[i - 1]
+        if abs(pivot) < 1e-300:
+            raise ConvergenceError(
+                f"tridiagonal solve hit a zero pivot at row {i}")
+        c_prime[i] = upper[i] / pivot
+        b[i] = (b[i] - lower[i] * b[i - 1]) / pivot
+    for i in range(n - 2, -1, -1):
+        b[i] -= c_prime[i] * b[i + 1]
+    return b
+
+
+def _seed_crank_nicolson(density, grid, sigma, dt):
+    if sigma == 0.0:
+        return density.copy()
+    nq = grid.q_grid.n
+    diffusivity = 0.5 * sigma * sigma
+    r = diffusivity * dt / (2.0 * grid.dq * grid.dq)
+    if r > 2.0:
+        n_sub = int(np.ceil(r / 2.0))
+        updated = density
+        for _ in range(n_sub):
+            updated = _seed_crank_nicolson(updated, grid, sigma, dt / n_sub)
+        return updated
+    lower = np.full(nq, -r)
+    upper = np.full(nq, -r)
+    diag = np.full(nq, 1.0 + 2.0 * r)
+    diag[0] = 1.0 + r
+    diag[-1] = 1.0 + r
+    rhs = np.empty_like(density)
+    rhs[1:-1, :] = (density[1:-1, :]
+                    + r * (density[2:, :] - 2.0 * density[1:-1, :]
+                           + density[:-2, :]))
+    rhs[0, :] = density[0, :] + r * (density[1, :] - density[0, :])
+    rhs[-1, :] = density[-1, :] + r * (density[-2, :] - density[-1, :])
+    return np.maximum(_seed_solve_tridiagonal(lower, diag, upper, rhs), 0.0)
+
+
+def _seed_cfl_time_step(grid, v_drift, cfl, max_dt):
+    max_q_speed = float(np.max(np.abs(_seed_v_centers(grid))))
+    max_v_speed = float(np.max(np.abs(v_drift))) if v_drift.size else 0.0
+    limits = [max_dt]
+    if max_q_speed > 0.0:
+        limits.append(cfl * grid.dq / max_q_speed)
+    if max_v_speed > 0.0:
+        limits.append(cfl * grid.dv / max_v_speed)
+    return min(limits)
+
+
+def _seed_advect_q(density, grid, dt):
+    v = _seed_v_centers(grid)
+    courant = np.abs(v) * dt / grid.dq
+    if np.any(courant > 1.0 + 1e-12):
+        raise RuntimeError("seed CFL violation")
+    nq, nv = density.shape
+    flux = np.zeros((nq + 1, nv))
+    positive = v > 0.0
+    negative = v < 0.0
+    flux[1:nq, positive] = v[positive] * density[:-1, positive]
+    flux[nq, positive] = v[positive] * density[-1, positive]
+    flux[1:nq, negative] = v[negative] * density[1:, negative]
+    flux[0, :] = 0.0
+    updated = density - dt / grid.dq * (flux[1:] - flux[:-1])
+    return np.maximum(updated, 0.0)
+
+
+def _seed_advect_v(density, grid, drift, dt):
+    if drift.shape != density.shape:
+        raise RuntimeError("seed drift shape mismatch")
+    courant = np.abs(drift) * dt / grid.dv
+    if np.any(courant > 1.0 + 1e-12):
+        raise RuntimeError("seed CFL violation")
+    nq, nv = density.shape
+    interface_drift = 0.5 * (drift[:, :-1] + drift[:, 1:])
+    flux = np.zeros((nq, nv + 1))
+    upwind_from_left = interface_drift > 0.0
+    flux[:, 1:nv] = np.where(upwind_from_left,
+                             interface_drift * density[:, :-1],
+                             interface_drift * density[:, 1:])
+    updated = density - dt / grid.dv * (flux[:, 1:] - flux[:, :-1])
+    return np.maximum(updated, 0.0)
+
+
+def _seed_solve(solver, initial_density, time_params):
+    grid = solver.grid
+    density = np.asarray(initial_density, dtype=float).copy()
+    density = grid.normalize(np.maximum(density, 0.0))
+    snapshots = [(0.0, density.copy(), compute_moments(density, grid))]
+    t = 0.0
+    for output_index in range(1, time_params.n_steps + 1):
+        target_time = min(output_index * time_params.dt, time_params.t_end)
+        while t < target_time - 1e-12:
+            drift = solver._static_drift
+            dt = _seed_cfl_time_step(grid, drift, time_params.cfl,
+                                     max_dt=target_time - t)
+            density = _seed_advect_q(density, grid, dt)
+            density = _seed_advect_v(density, grid, drift, dt)
+            density = _seed_crank_nicolson(density, grid,
+                                           solver.params.sigma, dt)
+            t += dt
+            if not np.all(np.isfinite(density)):
+                raise RuntimeError("seed density became non-finite")
+        if (output_index % time_params.snapshot_every == 0
+                or output_index == time_params.n_steps):
+            snapshots.append((t, density.copy(),
+                              compute_moments(density, grid)))
+    return snapshots
+
+
+def test_fp_hot_path_speedup():
+    solver = FokkerPlanckSolver(PARAMS, JRJControl(c0=PARAMS.c0, c1=PARAMS.c1,
+                                                   q_target=PARAMS.q_target),
+                                grid_params=GRID)
+    initial = solver.default_initial_density(Q0, RATE0)
+
+    # Warm both paths (operator caches, BLAS initialisation).
+    solver.solve(initial, TIME)
+    seed_snapshots = _seed_solve(solver, initial, TIME)
+
+    seed_seconds = []
+    optimized_seconds = []
+    optimized_result = None
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        seed_snapshots = _seed_solve(solver, initial, TIME)
+        seed_seconds.append(time.perf_counter() - started)
+
+        started = time.perf_counter()
+        optimized_result = solver.solve(initial, TIME)
+        optimized_seconds.append(time.perf_counter() - started)
+
+    # Correctness gate: the optimized final-snapshot moments must match the
+    # seed implementation to <= 1e-12.
+    seed_moments = seed_snapshots[-1][2]
+    optimized_moments = optimized_result.final_moments
+    deviations = {
+        "mass": abs(seed_moments.mass - optimized_moments.mass),
+        "mean_q": abs(seed_moments.mean_q - optimized_moments.mean_q),
+        "var_q": abs(seed_moments.var_q - optimized_moments.var_q),
+        "mean_v": abs(seed_moments.mean_v - optimized_moments.mean_v),
+        "var_v": abs(seed_moments.var_v - optimized_moments.var_v),
+        "covariance": abs(seed_moments.covariance
+                          - optimized_moments.covariance),
+    }
+    assert max(deviations.values()) <= 1e-12, deviations
+    assert len(seed_snapshots) == len(optimized_result.snapshots)
+
+    best_seed = min(seed_seconds)
+    best_optimized = min(optimized_seconds)
+    record = {
+        "benchmark": "fp_hot_path",
+        "config": {"nq": GRID.nq, "nv": GRID.nv, "sigma": PARAMS.sigma,
+                   "t_end": TIME.t_end, "dt": TIME.dt, "cfl": TIME.cfl},
+        "backend": solver.backend.name,
+        "rounds": ROUNDS,
+        "seed_seconds": round(best_seed, 4),
+        "optimized_seconds": round(best_optimized, 4),
+        "speedup": round(best_seed / best_optimized, 3),
+        "max_moment_deviation": max(deviations.values()),
+    }
+    OUTPUT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print()
+    print(json.dumps(record))
+
+
+if __name__ == "__main__":
+    test_fp_hot_path_speedup()

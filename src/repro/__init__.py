@@ -109,6 +109,7 @@ from .queueing import (
     SourceConfig,
 )
 from .stochastic import LangevinModel, compare_with_density, run_ensemble
+from .numerics import available_backends, get_backend
 from .runner import (
     ExperimentSpec,
     JobSpec,
@@ -193,6 +194,9 @@ __all__ = [
     "LangevinModel",
     "run_ensemble",
     "compare_with_density",
+    # kernel backends
+    "get_backend",
+    "available_backends",
     # experiment orchestration
     "JobSpec",
     "ExperimentSpec",

@@ -123,6 +123,13 @@ class SystemParameters(ParameterDictMixin):
     sigma:
         Diffusion coefficient ``σ ≥ 0`` of the Fokker-Planck equation.  A
         value of zero selects the reduced (purely hyperbolic) system.
+    backend:
+        Numerical kernel backend for the PDE solvers: ``""`` (the default)
+        defers to the ``REPRO_BACKEND`` environment variable / the
+        ``"numpy"`` reference kernels, ``"auto"`` picks the fastest
+        available backend, and any registered backend name (``"numpy"``,
+        ``"scipy"``) pins one explicitly.  See
+        :mod:`repro.numerics.backend`.
     """
 
     mu: float = 1.0
@@ -130,6 +137,7 @@ class SystemParameters(ParameterDictMixin):
     c0: float = 0.05
     c1: float = 0.2
     sigma: float = 0.0
+    backend: str = ""
 
     def __post_init__(self) -> None:
         _require(self.mu > 0.0, f"service rate mu must be positive, got {self.mu}")
@@ -138,6 +146,13 @@ class SystemParameters(ParameterDictMixin):
         _require(self.c0 > 0.0, f"increase rate c0 must be positive, got {self.c0}")
         _require(self.c1 > 0.0, f"decrease constant c1 must be positive, got {self.c1}")
         _require(self.sigma >= 0.0, f"sigma must be non-negative, got {self.sigma}")
+        from .numerics.backend import is_known_backend
+        _require(is_known_backend(self.backend),
+                 f"unknown numerics backend {self.backend!r}")
+
+    def with_backend(self, backend: str) -> "SystemParameters":
+        """Return a copy of these parameters pinned to a kernel *backend*."""
+        return replace(self, backend=backend)
 
     def with_sigma(self, sigma: float) -> "SystemParameters":
         """Return a copy of these parameters with a different ``sigma``."""

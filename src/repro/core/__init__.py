@@ -17,9 +17,15 @@ characteristics, reproducing the paper's Section 5 analysis directly
 (:mod:`repro.core.reduced`).
 """
 
-from .advection import upwind_advect_q, upwind_advect_v, cfl_time_step
+from .advection import (
+    UpwindAdvection,
+    cfl_time_step,
+    cfl_time_step_from_speeds,
+    upwind_advect_q,
+    upwind_advect_v,
+)
 from .boundary import BoundaryConditions
-from .diffusion import crank_nicolson_diffuse_q
+from .diffusion import CrankNicolsonDiffusion, crank_nicolson_diffuse_q
 from .initial import (
     delta_initial_density,
     gaussian_initial_density,
@@ -31,10 +37,13 @@ from .solver import FokkerPlanckSolver, FokkerPlanckResult, DensitySnapshot
 from .steady_state import estimate_steady_state, relaxation_time
 
 __all__ = [
+    "UpwindAdvection",
     "upwind_advect_q",
     "upwind_advect_v",
     "cfl_time_step",
+    "cfl_time_step_from_speeds",
     "BoundaryConditions",
+    "CrankNicolsonDiffusion",
     "crank_nicolson_diffuse_q",
     "delta_initial_density",
     "gaussian_initial_density",

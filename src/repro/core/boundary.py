@@ -40,8 +40,8 @@ class BoundaryConditions:
     reflect_q_zero: bool = True
     absorb_q_max: bool = False
 
-    def apply_post_step(self, density: np.ndarray, grid: PhaseGrid2D
-                        ) -> tuple[np.ndarray, float]:
+    def apply_post_step(self, density: np.ndarray, grid: PhaseGrid2D,
+                        inplace: bool = False) -> tuple[np.ndarray, float]:
         """Post-process *density* after a full time step.
 
         Returns the (possibly modified) density and the amount of
@@ -49,12 +49,18 @@ class BoundaryConditions:
         ``absorb_q_max`` is set, in which case the mass sitting in the last
         queue cell with positive growth rate is removed, approximating
         packets lost to a full buffer).
+
+        When *inplace* is true the absorption zeroes the caller's array
+        directly instead of copying first -- the Fokker-Planck solver owns
+        its density buffer and uses this to keep the hot loop allocation
+        free.
         """
         absorbed = 0.0
         if self.absorb_q_max:
             positive_growth = grid.v_centers > 0.0
             cell_mass = density[-1, positive_growth] * grid.cell_area
             absorbed = float(np.sum(cell_mass))
-            density = density.copy()
+            if not inplace:
+                density = density.copy()
             density[-1, positive_growth] = 0.0
         return density, absorbed

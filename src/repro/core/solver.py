@@ -29,10 +29,12 @@ import numpy as np
 from ..config import GridParameters, SystemParameters, TimeParameters
 from ..control.base import RateControl
 from ..exceptions import StabilityError
+from ..numerics.backend import get_backend
 from ..numerics.grids import PhaseGrid2D
-from .advection import cfl_time_step, upwind_advect_q, upwind_advect_v
+from .advection import (UpwindAdvection, cfl_time_step_from_speeds,
+                        shared_scratch_size)
 from .boundary import BoundaryConditions
-from .diffusion import crank_nicolson_diffuse_q
+from .diffusion import CrankNicolsonDiffusion
 from .initial import gaussian_initial_density
 from .moments import DensityMoments, compute_moments, marginal_q, tail_probability
 
@@ -154,6 +156,19 @@ class FokkerPlanckSolver:
         self._static_drift = np.asarray(
             control.drift_in_growth_coordinates(q_mesh, v_mesh, params.mu),
             dtype=float)
+        # Kernel backend plus the reusable hot-loop machinery: one shared
+        # scratch arena (the advection and diffusion kernels use their
+        # scratch at disjoint times within a substep, so overlaying them
+        # keeps the working set cache-resident), preallocated upwind
+        # workspaces, the cached Crank-Nicolson operator and a ping-pong
+        # work buffer shared by every solve() on this instance.
+        self.backend = get_backend(params.backend or None)
+        arena = np.empty(shared_scratch_size(self.grid))
+        self._advection = UpwindAdvection(self.grid, scratch=arena)
+        self._diffusion = CrankNicolsonDiffusion(self.grid, params.sigma,
+                                                 backend=self.backend,
+                                                 scratch=arena)
+        self._work_a = np.empty(self.grid.shape)
 
     def default_initial_density(self, q0: float, rate0: float) -> np.ndarray:
         """A narrow Gaussian around the starting point ``(q0, λ0)``.
@@ -203,29 +218,80 @@ class FokkerPlanckSolver:
         steps_between_snapshots = time_params.snapshot_every
         n_outputs = time_params.n_steps
 
+        # Hoist the per-substep invariants.  With a static drift field (the
+        # undelayed case) the drift, its interface decomposition, max |g| and
+        # therefore the free-running CFL step are all constant over the whole
+        # integration, so every substep reuses them -- and, because the
+        # substep dt repeats, every Crank-Nicolson substep hits the cached
+        # operator for its diffusion number.
+        grid = self.grid
+        advection = self._advection
+        diffusion = self._diffusion
+        boundary = self.boundary
+        reflect_q_zero = boundary.reflect_q_zero
+        absorbing = boundary.absorb_q_max
+        sigma_zero = self.params.sigma == 0.0
+        cfl = time_params.cfl
+        static_drift = self.delayed_queue_provider is None
+        if static_drift:
+            advection.set_drift(self._static_drift)
+            free_dt = cfl_time_step_from_speeds(
+                grid, advection.max_abs_drift, cfl, max_dt=np.inf)
+        work = self._work_a
+        advect_q = advection.advect_q
+        advect_v = advection.advect_v
+        diffusion_step = diffusion.step
+
         for output_index in range(1, n_outputs + 1):
             target_time = min(output_index * output_dt, time_params.t_end)
             while t < target_time - 1e-12:
-                drift = self._drift_field(t)
-                dt = cfl_time_step(self.grid, drift, time_params.cfl,
-                                   max_dt=target_time - t)
-                density = upwind_advect_q(density, self.grid, dt,
-                                          reflect_at_zero=self.boundary.reflect_q_zero)
-                density = upwind_advect_v(density, self.grid, drift, dt)
-                density = crank_nicolson_diffuse_q(density, self.grid,
-                                                   self.params.sigma, dt)
-                density, absorbed = self.boundary.apply_post_step(density, self.grid)
-                absorbed_total += absorbed
+                if static_drift:
+                    dt = min(target_time - t, free_dt)
+                else:
+                    advection.set_drift(self._drift_field(t))
+                    dt = cfl_time_step_from_speeds(
+                        grid, advection.max_abs_drift, cfl,
+                        max_dt=target_time - t)
+                # Two buffers suffice: each kernel's input is dead once it
+                # has run, so its buffer becomes the next kernel's output.
+                # The σ > 0 path uses the fast kernel variants (prescaled
+                # velocities, no intermediate clamp, flush-clamped output);
+                # the σ = 0 path keeps the bit-exact reference arithmetic.
+                advect_q(density, dt, reflect_q_zero, work,
+                         not sigma_zero, sigma_zero)
+                if sigma_zero:
+                    # The diffusion step is a no-op: the ν-advection output
+                    # (written over the dead pre-step density) is the state.
+                    advect_v(work, dt, density)
+                else:
+                    # flush=True zeroes the far-tail values the advection
+                    # re-creates below the diffusion flush threshold:
+                    # products of two sub-threshold magnitudes inside the
+                    # Crank-Nicolson matmul land in the (microcode-slow)
+                    # IEEE subnormal range.
+                    advect_v(work, dt, density, True, static_drift)
+                    diffusion_step(density, dt, work)
+                    density, work = work, density
+                if absorbing:
+                    _, absorbed = boundary.apply_post_step(density, grid,
+                                                           inplace=True)
+                    absorbed_total += absorbed
                 t += dt
-                if not np.all(np.isfinite(density)):
-                    raise StabilityError(
-                        f"Fokker-Planck density became non-finite at t={t:.4g}")
+
+            # density >= 0, so a plain sum is finite iff every cell is (no
+            # cancellation can hide an inf or a NaN, and a non-finite value
+            # can never become finite again) -- checking once per output
+            # interval therefore catches every blow-up before a snapshot is
+            # recorded.
+            if not (density.sum() < np.inf):
+                raise StabilityError(
+                    f"Fokker-Planck density became non-finite at t={t:.4g}")
 
             if (output_index % steps_between_snapshots == 0
                     or output_index == n_outputs):
                 result.snapshots.append(DensitySnapshot(
                     time=t, density=density.copy(),
-                    moments=compute_moments(density, self.grid)))
+                    moments=compute_moments(density, grid)))
 
         result.absorbed_mass = absorbed_total
         return result

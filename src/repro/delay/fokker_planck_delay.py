@@ -117,7 +117,9 @@ class DelayedFokkerPlanckSolver:
             solver.delayed_queue_provider = (
                 lambda local_t, _offset=offset: history.delayed_mean(_offset + local_t))
             partial = solver.solve(density, segment_params)
-            density = partial.final_density.copy()
+            # solve() copies its input, so the snapshot can be handed over
+            # directly without another defensive copy.
+            density = partial.final_density
             for snapshot in partial.snapshots[1:] if segment_index else partial.snapshots:
                 snapshot.time += current_time
                 combined.snapshots.append(snapshot)

@@ -61,10 +61,9 @@ class AggregateControl(RateControl):
         """Aggregate drift: summed increase below target, share-weighted decrease above."""
         queue_length = np.asarray(queue_length, dtype=float)
         rate = np.asarray(rate, dtype=float)
-        shape = np.broadcast(queue_length, rate).shape
-        increase = np.full(shape, self.total_increase)
         decrease = -self.effective_decrease * rate
-        result = np.where(queue_length <= self.q_target, increase, decrease)
+        result = np.where(queue_length <= self.q_target, self.total_increase,
+                          decrease)
         if result.shape == ():
             return float(result)
         return result

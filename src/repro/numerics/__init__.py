@@ -8,7 +8,14 @@ to reach for ad-hoc numerical code.
 """
 
 from .grids import UniformGrid1D, PhaseGrid2D
-from .tridiag import solve_tridiagonal
+from .tridiag import TridiagonalFactorization, solve_tridiagonal
+from .backend import (
+    BACKEND_ENV_VAR,
+    NumericsBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 from .integrate import trapezoid, simpson, cumulative_trapezoid, normalize_density
 from .interpolate import linear_interpolate, bilinear_interpolate, Interpolant1D
 from .ode import (
@@ -27,7 +34,13 @@ from .rootfind import bisect, newton
 __all__ = [
     "UniformGrid1D",
     "PhaseGrid2D",
+    "TridiagonalFactorization",
     "solve_tridiagonal",
+    "BACKEND_ENV_VAR",
+    "NumericsBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
     "trapezoid",
     "simpson",
     "cumulative_trapezoid",

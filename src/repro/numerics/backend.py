@@ -1,0 +1,281 @@
+"""Pluggable kernel backends for the numerical hot paths.
+
+The Fokker-Planck solver spends nearly all of its time in a small set of
+kernels (tridiagonal solves for the Crank-Nicolson diffusion step above
+all).  This module provides a tiny registry so those kernels can be swapped
+without touching the physics code:
+
+* the ``"numpy"`` backend is the pure-numpy reference implementation
+  (:class:`repro.numerics.tridiag.TridiagonalFactorization`) and is always
+  available;
+* the ``"scipy"`` backend uses LAPACK's tridiagonal factorization
+  (``dgttrf`` / ``dgttrs`` via :mod:`scipy.linalg`) when scipy is
+  importable, falling back to ``scipy.linalg.solve_banded`` if the low-level
+  wrappers are missing.
+
+Both backends must agree to tight tolerances; the parity is enforced by the
+unit tests.  Backend selection order:
+
+1. an explicit name passed to :func:`get_backend`,
+2. the :data:`BACKEND_ENV_VAR` environment variable (``REPRO_BACKEND``),
+3. the default, ``"numpy"``.
+
+The special name ``"auto"`` resolves to ``"scipy"`` when scipy is
+available and ``"numpy"`` otherwise.  :class:`repro.config.SystemParameters`
+carries an optional ``backend`` field that the solvers feed into
+:func:`get_backend`, so a backend can also be pinned per experiment (and
+therefore participates in the runner's content-addressed job hashes).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, ConvergenceError
+from .tridiag import TridiagonalFactorization
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "NumericsBackend",
+    "NumpyBackend",
+    "ScipyBackend",
+    "available_backends",
+    "get_backend",
+    "is_known_backend",
+    "register_backend",
+    "scipy_available",
+]
+
+#: Environment variable consulted when no explicit backend name is given.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+
+def scipy_available() -> bool:
+    """Return ``True`` when :mod:`scipy.linalg` is importable."""
+    try:
+        import scipy.linalg  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+class NumericsBackend:
+    """Base class for kernel backends.
+
+    A backend supplies factorized tridiagonal solvers; everything else in
+    the PDE pipeline is backend-independent numpy.  Subclasses must set
+    :attr:`name` and implement :meth:`factorize_tridiagonal`.
+    """
+
+    #: Registry name of the backend.
+    name: str = ""
+
+    def is_available(self) -> bool:
+        """Whether the backend can run in this environment."""
+        return True
+
+    def factorize_tridiagonal(self, lower: np.ndarray, diag: np.ndarray,
+                              upper: np.ndarray):
+        """Return an object with ``solve(rhs, out=None)`` for this matrix."""
+        raise NotImplementedError
+
+    def solve_tridiagonal(self, lower: np.ndarray, diag: np.ndarray,
+                          upper: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        """One-shot tridiagonal solve (factorize then solve)."""
+        return self.factorize_tridiagonal(lower, diag, upper).solve(rhs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+class NumpyBackend(NumericsBackend):
+    """Reference backend: pure-numpy Thomas algorithm."""
+
+    name = "numpy"
+
+    def factorize_tridiagonal(self, lower, diag, upper):
+        return TridiagonalFactorization(lower, diag, upper)
+
+
+class _ScipyGttrfFactorization:
+    """LAPACK ``dgttrf`` factorization with a ``dgttrs`` solve."""
+
+    def __init__(self, lower: np.ndarray, diag: np.ndarray,
+                 upper: np.ndarray):
+        from scipy.linalg import lapack
+
+        lower = np.ascontiguousarray(lower, dtype=float)
+        diag = np.ascontiguousarray(diag, dtype=float)
+        upper = np.ascontiguousarray(upper, dtype=float)
+        n = diag.shape[0]
+        if lower.shape[0] != n or upper.shape[0] != n:
+            raise ValueError("lower, diag and upper must all have the same length")
+
+        gttrf, gttrs = lapack.get_lapack_funcs(("gttrf", "gttrs"), (diag,))
+        dl, d, du, du2, ipiv, info = gttrf(lower[1:], diag, upper[:-1])
+        if info != 0:
+            raise ConvergenceError(
+                f"LAPACK gttrf failed to factorize the tridiagonal matrix "
+                f"(info={info})")
+        self.n = n
+        self._gttrs = gttrs
+        self._bands = (dl, d, du, du2, ipiv)
+
+    def solve(self, rhs: np.ndarray, out: Optional[np.ndarray] = None
+              ) -> np.ndarray:
+        rhs = np.asarray(rhs, dtype=float)
+        if rhs.shape[0] != self.n:
+            raise ValueError("rhs first dimension must match the matrix size")
+        dl, d, du, du2, ipiv = self._bands
+        one_dimensional = rhs.ndim == 1
+        b = rhs.reshape(self.n, -1)
+        x, info = self._gttrs(dl, d, du, du2, ipiv, b)
+        if info != 0:
+            raise ConvergenceError(
+                f"LAPACK gttrs failed to solve the tridiagonal system "
+                f"(info={info})")
+        x = x.reshape(rhs.shape) if not one_dimensional else x[:, 0]
+        if out is not None:
+            np.copyto(out, x)
+            return out
+        return np.ascontiguousarray(x)
+
+
+class _ScipyBandedFactorization:
+    """Fallback scipy path built on ``scipy.linalg.solve_banded``.
+
+    No reusable LAPACK factorization is exposed here, but the pre-assembled
+    band matrix is cached so repeated solves still skip the setup cost.
+    """
+
+    def __init__(self, lower: np.ndarray, diag: np.ndarray,
+                 upper: np.ndarray):
+        lower = np.asarray(lower, dtype=float)
+        diag = np.asarray(diag, dtype=float)
+        upper = np.asarray(upper, dtype=float)
+        n = diag.shape[0]
+        if lower.shape[0] != n or upper.shape[0] != n:
+            raise ValueError("lower, diag and upper must all have the same length")
+        ab = np.zeros((3, n))
+        ab[0, 1:] = upper[:-1]
+        ab[1, :] = diag
+        ab[2, :-1] = lower[1:]
+        self.n = n
+        self._ab = ab
+
+    def solve(self, rhs: np.ndarray, out: Optional[np.ndarray] = None
+              ) -> np.ndarray:
+        from scipy.linalg import solve_banded
+
+        rhs = np.asarray(rhs, dtype=float)
+        if rhs.shape[0] != self.n:
+            raise ValueError("rhs first dimension must match the matrix size")
+        try:
+            x = solve_banded((1, 1), self._ab, rhs, check_finite=False)
+        except np.linalg.LinAlgError as error:
+            raise ConvergenceError(
+                f"banded tridiagonal solve failed: {error}") from error
+        if out is not None:
+            np.copyto(out, x)
+            return out
+        return x
+
+
+class ScipyBackend(NumericsBackend):
+    """LAPACK-accelerated backend (requires scipy)."""
+
+    name = "scipy"
+
+    def __init__(self):
+        self._use_gttrf: Optional[bool] = None
+
+    def is_available(self) -> bool:
+        return scipy_available()
+
+    def factorize_tridiagonal(self, lower, diag, upper):
+        if not self.is_available():  # pragma: no cover - env dependent
+            raise ConfigurationError(
+                "the 'scipy' backend was requested but scipy is not installed")
+        # LAPACK's gttrf wrapper rejects systems smaller than 3 rows; route
+        # those through the banded solver, which handles any size.
+        if np.asarray(diag).shape[0] < 3:
+            return _ScipyBandedFactorization(lower, diag, upper)
+        if self._use_gttrf is None:
+            try:
+                from scipy.linalg import lapack
+                lapack.get_lapack_funcs(("gttrf", "gttrs"),
+                                        (np.zeros(2, dtype=float),))
+                self._use_gttrf = True
+            except Exception:  # pragma: no cover - very old scipy
+                self._use_gttrf = False
+        if self._use_gttrf:
+            return _ScipyGttrfFactorization(lower, diag, upper)
+        return _ScipyBandedFactorization(lower, diag, upper)  # pragma: no cover
+
+
+_REGISTRY: Dict[str, Callable[[], NumericsBackend]] = {}
+_INSTANCES: Dict[str, NumericsBackend] = {}
+
+
+def register_backend(name: str,
+                     factory: Callable[[], NumericsBackend]) -> None:
+    """Register a backend *factory* under *name* (overwrites silently)."""
+    _REGISTRY[name] = factory
+    _INSTANCES.pop(name, None)
+
+
+register_backend(NumpyBackend.name, NumpyBackend)
+register_backend(ScipyBackend.name, ScipyBackend)
+
+
+def available_backends() -> list:
+    """Names of the registered backends usable in this environment."""
+    names = []
+    for name in sorted(_REGISTRY):
+        instance = _INSTANCES.get(name)
+        if instance is None:
+            instance = _REGISTRY[name]()
+        if instance.is_available():
+            _INSTANCES[name] = instance
+            names.append(name)
+    return names
+
+
+def is_known_backend(name: str) -> bool:
+    """Whether *name* is resolvable by :func:`get_backend` (``""`` = auto)."""
+    return name in ("", "auto") or name in _REGISTRY
+
+
+def get_backend(name: Optional[str] = None) -> NumericsBackend:
+    """Resolve and return a :class:`NumericsBackend` instance.
+
+    Resolution order: explicit *name* -> the :data:`BACKEND_ENV_VAR`
+    environment variable -> ``"numpy"``.  ``"auto"`` (or an empty string)
+    picks ``"scipy"`` when available, ``"numpy"`` otherwise.
+
+    Raises
+    ------
+    ConfigurationError
+        For unknown backend names, or when the requested backend cannot run
+        in this environment.
+    """
+    if not name:
+        name = os.environ.get(BACKEND_ENV_VAR, "") or "numpy"
+    if name == "auto":
+        name = ScipyBackend.name if scipy_available() else NumpyBackend.name
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown numerics backend {name!r}; registered backends: "
+            f"{sorted(_REGISTRY)}")
+    instance = _INSTANCES.get(name)
+    if instance is None:
+        instance = factory()
+        _INSTANCES[name] = instance
+    if not instance.is_available():
+        raise ConfigurationError(
+            f"numerics backend {name!r} is not available in this environment")
+    return instance

@@ -48,6 +48,17 @@ class UniformGrid1D:
         if self.upper <= self.lower:
             raise GridError(
                 f"upper bound {self.upper} must exceed lower bound {self.lower}")
+        # Cache the coordinate arrays once: the solver hot loops read them on
+        # every substep and the arrays never change (the dataclass is frozen).
+        # They are marked read-only because they are shared between callers.
+        dx = (self.upper - self.lower) / self.n
+        centers = self.lower + (np.arange(self.n) + 0.5) * dx
+        edges = self.lower + np.arange(self.n + 1) * dx
+        centers.setflags(write=False)
+        edges.setflags(write=False)
+        object.__setattr__(self, "_centers", centers)
+        object.__setattr__(self, "_edges", edges)
+        object.__setattr__(self, "_max_abs", float(np.max(np.abs(centers))))
 
     @property
     def dx(self) -> float:
@@ -56,13 +67,18 @@ class UniformGrid1D:
 
     @property
     def centers(self) -> np.ndarray:
-        """Cell-centre coordinates, shape ``(n,)``."""
-        return self.lower + (np.arange(self.n) + 0.5) * self.dx
+        """Cell-centre coordinates, shape ``(n,)`` (cached, read-only)."""
+        return self._centers
 
     @property
     def edges(self) -> np.ndarray:
-        """Cell-edge coordinates, shape ``(n + 1,)``."""
-        return self.lower + np.arange(self.n + 1) * self.dx
+        """Cell-edge coordinates, shape ``(n + 1,)`` (cached, read-only)."""
+        return self._edges
+
+    @property
+    def max_abs_center(self) -> float:
+        """Largest absolute cell-centre coordinate, ``max |x_i|`` (cached)."""
+        return self._max_abs
 
     def locate(self, x: float) -> int:
         """Return the index of the cell containing *x* (clamped to the grid)."""
@@ -96,6 +112,17 @@ class PhaseGrid2D:
 
     q_grid: UniformGrid1D
     v_grid: UniformGrid1D
+
+    def __post_init__(self) -> None:
+        # Cache the cell-centre meshes and the maximum axis speeds used by
+        # the CFL computation: both are consulted on every solver substep and
+        # are immutable for a frozen grid.
+        q_mesh, v_mesh = np.meshgrid(self.q_grid.centers, self.v_grid.centers,
+                                     indexing="ij")
+        q_mesh.setflags(write=False)
+        v_mesh.setflags(write=False)
+        object.__setattr__(self, "_mesh", (q_mesh, v_mesh))
+        object.__setattr__(self, "_max_abs_v", self.v_grid.max_abs_center)
 
     @classmethod
     def from_bounds(cls, q_max: float, nq: int, v_min: float, v_max: float,
@@ -133,9 +160,22 @@ class PhaseGrid2D:
         """Growth-rate-axis cell centres, shape ``(nv,)``."""
         return self.v_grid.centers
 
+    @property
+    def max_abs_v(self) -> float:
+        """Largest absolute growth-rate cell centre, ``max |ν|`` (cached).
+
+        This is the fastest queue-axis advection speed on the grid, used by
+        the CFL time-step computation on every solver substep.
+        """
+        return self._max_abs_v
+
     def meshgrid(self) -> Tuple[np.ndarray, np.ndarray]:
-        """Return ``(Q, V)`` arrays of shape ``(nq, nv)`` with cell centres."""
-        return np.meshgrid(self.q_centers, self.v_centers, indexing="ij")
+        """Return ``(Q, V)`` arrays of shape ``(nq, nv)`` with cell centres.
+
+        The arrays are cached on the grid and read-only; callers that need a
+        mutable mesh should copy.
+        """
+        return self._mesh
 
     def total_mass(self, density: np.ndarray) -> float:
         """Integral of *density* over the whole phase plane (cell-sum rule)."""

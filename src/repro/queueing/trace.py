@@ -32,6 +32,12 @@ class TimeSeriesTrace:
         self.name = name
         self._times: List[float] = []
         self._values: List[float] = []
+        # Array views of the recorded lists, built lazily and invalidated on
+        # record(): the analysis helpers (time averages, resampling,
+        # throughput summaries) call .times/.values repeatedly after the run
+        # and used to pay a full list->array conversion on every access.
+        self._times_array: np.ndarray = None
+        self._values_array: np.ndarray = None
 
     def record(self, time: float, value: float) -> None:
         """Append a sample (times must be non-decreasing)."""
@@ -40,19 +46,25 @@ class TimeSeriesTrace:
                 f"trace '{self.name}' received out-of-order time {time:.6g}")
         self._times.append(float(time))
         self._values.append(float(value))
+        self._times_array = None
+        self._values_array = None
 
     def __len__(self) -> int:
         return len(self._times)
 
     @property
     def times(self) -> np.ndarray:
-        """Recorded times as an array."""
-        return np.asarray(self._times)
+        """Recorded times as an array (cached until the next record)."""
+        if self._times_array is None or len(self._times_array) != len(self._times):
+            self._times_array = np.asarray(self._times)
+        return self._times_array
 
     @property
     def values(self) -> np.ndarray:
-        """Recorded values as an array."""
-        return np.asarray(self._values)
+        """Recorded values as an array (cached until the next record)."""
+        if self._values_array is None or len(self._values_array) != len(self._values):
+            self._values_array = np.asarray(self._values)
+        return self._values_array
 
     def last_value(self, default: float = 0.0) -> float:
         """Most recent value, or *default* when the trace is empty."""
@@ -80,8 +92,8 @@ class TimeSeriesTrace:
         if not self._times:
             raise AnalysisError(f"trace '{self.name}' is empty")
         sample_times = np.asarray(sample_times, dtype=float)
-        times = np.asarray(self._times)
-        values = np.asarray(self._values)
+        times = self.times
+        values = self.values
         indices = np.searchsorted(times, sample_times, side="right") - 1
         indices = np.clip(indices, 0, len(values) - 1)
         return values[indices]

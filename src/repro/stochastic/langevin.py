@@ -91,8 +91,18 @@ class LangevinModel:
         history = np.full((delay_steps + 1, n_paths), q0, dtype=float)
         history_index = 0
 
-        times = [0.0]
-        snapshots = [states.copy()]
+        # Preallocate the snapshot storage: the recording schedule is known
+        # up front, so the per-record ``states.copy()`` appends of the old
+        # implementation become writes into one contiguous array.
+        n_records = n_steps // record_every
+        if n_steps % record_every:
+            n_records += 1
+        times = np.empty(n_records + 1)
+        snapshots = np.empty((n_records + 1, n_paths, 2))
+        times[0] = 0.0
+        snapshots[0] = states
+        record_index = 1
+
         sqrt_dt = np.sqrt(dt)
         t = 0.0
         for step in range(1, n_steps + 1):
@@ -115,7 +125,8 @@ class LangevinModel:
 
             t += dt
             if step % record_every == 0 or step == n_steps:
-                times.append(t)
-                snapshots.append(states.copy())
+                times[record_index] = t
+                snapshots[record_index] = states
+                record_index += 1
 
-        return SDEPaths(np.asarray(times), np.asarray(snapshots))
+        return SDEPaths(times[:record_index], snapshots[:record_index])

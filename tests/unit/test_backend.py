@@ -1,0 +1,165 @@
+"""Unit tests for the numerics backend registry and backend parity."""
+
+import numpy as np
+import pytest
+
+from repro import FokkerPlanckSolver, GridParameters, JRJControl, SystemParameters, TimeParameters
+from repro.core.diffusion import CrankNicolsonDiffusion
+from repro.exceptions import ConfigurationError
+from repro.numerics.backend import (
+    BACKEND_ENV_VAR,
+    NumpyBackend,
+    available_backends,
+    get_backend,
+    is_known_backend,
+    scipy_available,
+)
+from repro.numerics.grids import PhaseGrid2D, UniformGrid1D
+
+needs_scipy = pytest.mark.skipif(not scipy_available(),
+                                 reason="scipy not installed")
+
+
+def _cn_bands(n, r):
+    lower = np.full(n, -r)
+    upper = np.full(n, -r)
+    diag = np.full(n, 1.0 + 2.0 * r)
+    diag[0] = 1.0 + r
+    diag[-1] = 1.0 + r
+    return lower, diag, upper
+
+
+class TestRegistry:
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert get_backend().name == "numpy"
+
+    def test_explicit_name(self):
+        assert get_backend("numpy").name == "numpy"
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        assert get_backend().name == "numpy"
+
+    def test_explicit_name_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "definitely-not-a-backend")
+        assert get_backend("numpy").name == "numpy"
+
+    def test_auto_resolves(self):
+        backend = get_backend("auto")
+        expected = "scipy" if scipy_available() else "numpy"
+        assert backend.name == expected
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_backend("no-such-backend")
+
+    def test_available_backends_contains_numpy(self):
+        assert "numpy" in available_backends()
+
+    def test_is_known_backend(self):
+        assert is_known_backend("")
+        assert is_known_backend("auto")
+        assert is_known_backend("numpy")
+        assert not is_known_backend("no-such-backend")
+
+    def test_system_parameters_backend_field(self):
+        params = SystemParameters(backend="numpy")
+        assert params.backend == "numpy"
+        assert params.with_backend("auto").backend == "auto"
+        data = params.to_dict()
+        assert data["backend"] == "numpy"
+        assert SystemParameters.from_dict(data) == params
+
+    def test_system_parameters_rejects_unknown_backend(self):
+        with pytest.raises(ConfigurationError):
+            SystemParameters(backend="no-such-backend")
+
+
+@needs_scipy
+class TestScipyParity:
+    def test_tridiagonal_solutions_match(self, rng):
+        n = 60
+        lower, diag, upper = _cn_bands(n, 0.37)
+        rhs = rng.uniform(0.0, 1.0, (n, 9))
+        reference = get_backend("numpy").solve_tridiagonal(lower, diag, upper, rhs)
+        scipy_result = get_backend("scipy").solve_tridiagonal(lower, diag, upper, rhs)
+        assert np.allclose(scipy_result, reference, rtol=0.0, atol=1e-13)
+
+    def test_tiny_systems_supported(self, rng):
+        # LAPACK's gttrf rejects n < 3; the backend must fall back to the
+        # banded solver instead of leaking a raw f2py error.
+        backend = get_backend("scipy")
+        for n in (1, 2, 3):
+            lower, diag, upper = _cn_bands(n, 0.3)
+            rhs = rng.uniform(0.0, 1.0, n)
+            reference = get_backend("numpy").solve_tridiagonal(
+                lower, diag, upper, rhs)
+            result = backend.solve_tridiagonal(lower, diag, upper, rhs)
+            assert np.allclose(result, reference, rtol=0.0, atol=1e-13)
+
+    def test_factorization_reuse_matches(self, rng):
+        n = 32
+        lower, diag, upper = _cn_bands(n, 1.2)
+        numpy_fact = get_backend("numpy").factorize_tridiagonal(lower, diag, upper)
+        scipy_fact = get_backend("scipy").factorize_tridiagonal(lower, diag, upper)
+        for _ in range(3):
+            rhs = rng.uniform(-1.0, 1.0, n)
+            assert np.allclose(scipy_fact.solve(rhs), numpy_fact.solve(rhs),
+                               rtol=0.0, atol=1e-13)
+
+    def test_crank_nicolson_backends_agree(self):
+        grid = PhaseGrid2D(UniformGrid1D(0.0, 20.0, 64),
+                           UniformGrid1D(-1.0, 1.0, 12))
+        density = grid.gaussian_density(8.0, 0.0, 1.5, 0.3)
+        # dense_limit=0 forces the factorized path so the backends' banded
+        # solvers (not the shared dense combined operator) are compared.
+        numpy_op = CrankNicolsonDiffusion(grid, 0.5,
+                                          backend=get_backend("numpy"),
+                                          dense_limit=0)
+        scipy_op = CrankNicolsonDiffusion(grid, 0.5,
+                                          backend=get_backend("scipy"),
+                                          dense_limit=0)
+        a = density
+        b = density
+        for _ in range(20):
+            a = numpy_op.step(a, 0.05)
+            b = scipy_op.step(b, 0.05)
+        assert np.allclose(a, b, rtol=0.0, atol=1e-13)
+
+    def test_full_solver_backends_agree(self, small_grid_params,
+                                        short_time_params):
+        control = JRJControl(c0=0.05, c1=0.2, q_target=10.0)
+        results = {}
+        for name in ("numpy", "scipy"):
+            params = SystemParameters(mu=1.0, q_target=10.0, c0=0.05, c1=0.2,
+                                      sigma=0.4, backend=name)
+            solver = FokkerPlanckSolver(params, control,
+                                        grid_params=small_grid_params)
+            assert solver.backend.name == name
+            results[name] = solver.solve_from_point(2.0, 0.6, short_time_params)
+        a = results["numpy"].final_moments
+        b = results["scipy"].final_moments
+        assert a.mean_q == pytest.approx(b.mean_q, abs=1e-11)
+        assert a.var_q == pytest.approx(b.var_q, abs=1e-11)
+        assert a.mass == pytest.approx(b.mass, abs=1e-11)
+
+
+class TestBackendObjects:
+    def test_numpy_backend_always_available(self):
+        assert NumpyBackend().is_available()
+
+    def test_one_shot_solve_matches_dense(self, rng):
+        n = 24
+        lower, diag, upper = _cn_bands(n, 0.8)
+        rhs = rng.uniform(-1.0, 1.0, n)
+        dense = np.zeros((n, n))
+        for i in range(n):
+            dense[i, i] = diag[i]
+            if i:
+                dense[i, i - 1] = lower[i]
+            if i < n - 1:
+                dense[i, i + 1] = upper[i]
+        for name in available_backends():
+            result = get_backend(name).solve_tridiagonal(lower, diag, upper, rhs)
+            assert np.allclose(dense @ result, rhs, atol=1e-10), name

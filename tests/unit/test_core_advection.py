@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.core.advection import cfl_time_step, upwind_advect_q, upwind_advect_v
+from repro.core.advection import (
+    UpwindAdvection,
+    cfl_time_step,
+    cfl_time_step_from_speeds,
+    upwind_advect_q,
+    upwind_advect_v,
+)
 from repro.exceptions import StabilityError
 from repro.numerics.grids import PhaseGrid2D, UniformGrid1D
 
@@ -125,3 +131,67 @@ class TestUpwindAdvectV:
         drift = np.full(grid.shape, 100.0)
         with pytest.raises(StabilityError):
             upwind_advect_v(density, grid, drift, 0.5)
+
+
+class TestUpwindAdvectionWorkspace:
+    """The preallocated workspace must match the stateless kernels."""
+
+    def _drift(self, grid):
+        q_mesh, v_mesh = grid.meshgrid()
+        return np.where(q_mesh <= 5.0, 0.05, -0.2 * (v_mesh + 1.0))
+
+    def test_advect_q_matches_function(self, grid):
+        workspace = UpwindAdvection(grid)
+        density = _blob(grid, 5.0, 0.2)
+        out = np.empty_like(density)
+        workspace.advect_q(density, 0.05, out=out)
+        assert np.array_equal(out, upwind_advect_q(density, grid, 0.05))
+
+    def test_advect_v_matches_function(self, grid):
+        workspace = UpwindAdvection(grid)
+        density = _blob(grid, 5.0, 0.0)
+        drift = self._drift(grid)
+        workspace.set_drift(drift)
+        out = np.empty_like(density)
+        workspace.advect_v(density, 0.05, out=out)
+        assert np.array_equal(out, upwind_advect_v(density, grid, drift, 0.05))
+
+    def test_scaled_fast_path_agrees_to_rounding(self, grid):
+        workspace = UpwindAdvection(grid)
+        density = _blob(grid, 5.0, 0.2)
+        exact = workspace.advect_q(density, 0.05)
+        fast = workspace.advect_q(density, 0.05, scaled=True, clamp=False)
+        assert np.allclose(fast, exact, rtol=0.0, atol=1e-15)
+
+    def test_flush_and_scaled_advect_v_agree_to_rounding(self, grid):
+        workspace = UpwindAdvection(grid)
+        workspace.set_drift(self._drift(grid))
+        density = _blob(grid, 5.0, 0.0)
+        exact = workspace.advect_v(density, 0.05)
+        fast = workspace.advect_v(density, 0.05, flush=True, scaled=True)
+        assert np.allclose(fast, exact, rtol=0.0, atol=1e-15)
+
+    def test_repeated_calls_do_not_leak_state(self, grid):
+        workspace = UpwindAdvection(grid)
+        workspace.set_drift(self._drift(grid))
+        density = _blob(grid, 3.0, 0.1)
+        first = workspace.advect_q(density, 0.05)
+        for _ in range(5):
+            workspace.advect_q(_blob(grid, 7.0, -0.2), 0.04)
+            workspace.advect_v(_blob(grid, 7.0, -0.2), 0.04)
+        again = workspace.advect_q(density, 0.05)
+        assert np.array_equal(first, again)
+
+    def test_max_abs_drift_cached(self, grid):
+        workspace = UpwindAdvection(grid)
+        drift = self._drift(grid)
+        workspace.set_drift(drift)
+        assert workspace.max_abs_drift == pytest.approx(
+            float(np.max(np.abs(drift))))
+
+    def test_cfl_from_speeds_matches_reference(self, grid):
+        drift = self._drift(grid)
+        reference = cfl_time_step(grid, drift, cfl=0.8, max_dt=10.0)
+        fast = cfl_time_step_from_speeds(grid, float(np.max(np.abs(drift))),
+                                         cfl=0.8, max_dt=10.0)
+        assert fast == reference

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.diffusion import crank_nicolson_diffuse_q
+from repro.core.diffusion import CrankNicolsonDiffusion, crank_nicolson_diffuse_q
 from repro.numerics.grids import PhaseGrid2D, UniformGrid1D
 
 
@@ -69,4 +69,59 @@ class TestCrankNicolsonDiffusion:
         density = grid.gaussian_density(10.0, 0.0, 1.0, 0.3)
         updated = crank_nicolson_diffuse_q(density, grid, sigma=1.0, dt=50.0)
         assert np.all(np.isfinite(updated))
+        assert grid.total_mass(updated) == pytest.approx(1.0, rel=1e-8)
+
+
+class TestCrankNicolsonDiffusionOperator:
+    def test_mass_conserved_under_cached_operator(self, grid):
+        # Many steps with the same dt all hit one cached operator; the mass
+        # must stay exactly conserved throughout.
+        operator = CrankNicolsonDiffusion(grid, sigma=0.5)
+        density = grid.gaussian_density(10.0, 0.0, 1.0, 0.3)
+        for _ in range(100):
+            density = operator.step(density, 0.1)
+        assert grid.total_mass(density) == pytest.approx(1.0, rel=1e-10)
+        assert len(operator._steps) == 1  # single cached diffusion number
+
+    def test_operator_matches_stateless_function(self, grid):
+        operator = CrankNicolsonDiffusion(grid, sigma=0.4)
+        density = grid.gaussian_density(10.0, 0.0, 1.0, 0.3)
+        via_operator = operator.step(density, 0.2)
+        via_function = crank_nicolson_diffuse_q(density, grid, 0.4, 0.2)
+        assert np.allclose(via_operator, via_function, rtol=0.0, atol=1e-13)
+
+    def test_dense_and_factorized_paths_agree(self, grid):
+        density = grid.gaussian_density(10.0, 0.0, 1.0, 0.3)
+        dense = CrankNicolsonDiffusion(grid, sigma=0.5)
+        factorized = CrankNicolsonDiffusion(grid, sigma=0.5, dense_limit=0)
+        a = density
+        b = density
+        for _ in range(10):
+            a = dense.step(a, 0.1)
+            b = factorized.step(b, 0.1)
+        assert np.allclose(a, b, rtol=0.0, atol=1e-13)
+
+    def test_preallocated_out(self, grid):
+        operator = CrankNicolsonDiffusion(grid, sigma=0.5)
+        density = grid.gaussian_density(10.0, 0.0, 1.0, 0.3)
+        operator.step(density, 0.1)
+        operator.step(density, 0.1)  # warm the cache past the dense upgrade
+        out = np.empty_like(density)
+        returned = operator.step(density, 0.1, out=out)
+        assert returned is out
+        assert np.array_equal(out, operator.step(density, 0.1))
+
+    def test_sigma_zero_step_copies_into_out(self, grid):
+        operator = CrankNicolsonDiffusion(grid, sigma=0.0)
+        density = grid.gaussian_density(10.0, 0.0, 1.0, 0.3)
+        out = np.empty_like(density)
+        operator.step(density, 0.1, out=out)
+        assert np.array_equal(out, density)
+
+    def test_subcycled_large_diffusion_number(self, grid):
+        # r > 2 triggers the iterative sub-cycling; mass and positivity hold.
+        operator = CrankNicolsonDiffusion(grid, sigma=1.0)
+        density = grid.gaussian_density(10.0, 0.0, 1.0, 0.3)
+        updated = operator.step(density, 50.0)
+        assert np.all(updated >= 0.0)
         assert grid.total_mass(updated) == pytest.approx(1.0, rel=1e-8)

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.exceptions import ConvergenceError
-from repro.numerics.tridiag import solve_tridiagonal
+from repro.numerics.tridiag import TridiagonalFactorization, solve_tridiagonal
 
 
 def _dense_from_bands(lower, diag, upper):
@@ -64,3 +64,61 @@ class TestSolveTridiagonal:
             solve_tridiagonal(np.zeros(3), np.ones(4), np.zeros(4), np.ones(4))
         with pytest.raises(ValueError):
             solve_tridiagonal(np.zeros(4), np.ones(4), np.zeros(4), np.ones(3))
+
+
+class TestTridiagonalFactorization:
+    def _random_system(self, rng, n):
+        lower = rng.uniform(-1.0, 1.0, n)
+        upper = rng.uniform(-1.0, 1.0, n)
+        diag = 4.0 + rng.uniform(0.0, 1.0, n)
+        return lower, diag, upper
+
+    def test_matches_dense_solve(self, rng):
+        n = 40
+        lower, diag, upper = self._random_system(rng, n)
+        rhs = rng.uniform(-5.0, 5.0, (n, 6))
+        factorization = TridiagonalFactorization(lower, diag, upper)
+        dense = _dense_from_bands(lower, diag, upper)
+        expected = np.linalg.solve(dense, rhs)
+        assert np.allclose(factorization.solve(rhs), expected, atol=1e-10)
+
+    def test_reuse_across_right_hand_sides(self, rng):
+        # One factorization must serve many solves without re-elimination.
+        n = 30
+        lower, diag, upper = self._random_system(rng, n)
+        factorization = TridiagonalFactorization(lower, diag, upper)
+        dense = _dense_from_bands(lower, diag, upper)
+        for _ in range(5):
+            rhs = rng.uniform(-1.0, 1.0, n)
+            assert np.allclose(dense @ factorization.solve(rhs), rhs,
+                               atol=1e-10)
+
+    def test_bitwise_identical_to_one_shot_wrapper(self, rng):
+        n = 25
+        lower, diag, upper = self._random_system(rng, n)
+        rhs = rng.uniform(-1.0, 1.0, (n, 3))
+        factorization = TridiagonalFactorization(lower, diag, upper)
+        assert np.array_equal(factorization.solve(rhs),
+                              solve_tridiagonal(lower, diag, upper, rhs))
+
+    def test_preallocated_out(self, rng):
+        n = 20
+        lower, diag, upper = self._random_system(rng, n)
+        rhs = rng.uniform(-1.0, 1.0, (n, 4))
+        factorization = TridiagonalFactorization(lower, diag, upper)
+        out = np.empty_like(rhs)
+        returned = factorization.solve(rhs, out=out)
+        assert returned is out
+        assert np.array_equal(out, factorization.solve(rhs))
+
+    def test_out_shape_mismatch_raises(self, rng):
+        n = 10
+        lower, diag, upper = self._random_system(rng, n)
+        factorization = TridiagonalFactorization(lower, diag, upper)
+        with pytest.raises(ValueError):
+            factorization.solve(np.ones((n, 2)), out=np.empty((n, 3)))
+
+    def test_singular_matrix_raises(self):
+        n = 4
+        with pytest.raises(ConvergenceError):
+            TridiagonalFactorization(np.zeros(n), np.zeros(n), np.zeros(n))

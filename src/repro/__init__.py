@@ -107,7 +107,10 @@ from .queueing import (
     SimulationResult,
     Simulator,
     SourceConfig,
+    available_scenarios,
+    build_scenario,
 )
+from .crossval import CrossValidationReport, cross_validate
 from .stochastic import LangevinModel, compare_with_density, run_ensemble
 from .numerics import available_backends, get_backend
 from .runner import (
@@ -120,7 +123,7 @@ from .runner import (
     run_jobs,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -190,6 +193,11 @@ __all__ = [
     "SourceConfig",
     "MultiHopConfig",
     "MultiHopSimulator",
+    "available_scenarios",
+    "build_scenario",
+    # DES-vs-FP cross-validation
+    "CrossValidationReport",
+    "cross_validate",
     # Monte-Carlo validation
     "LangevinModel",
     "run_ensemble",

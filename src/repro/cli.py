@@ -18,7 +18,11 @@ top of those, the :mod:`repro.runner` orchestration layer adds:
 * ``repro run <matrix>`` -- execute a named multi-dimensional experiment
   matrix (``repro run --list`` shows the registry) across ``--jobs`` worker
   processes, serving unchanged jobs from the content-addressed result
-  cache and reporting the hit/computed/failed counts;
+  cache and reporting the hit/computed/failed counts.  This includes the
+  packet-level matrices built on the scenario registry of
+  :mod:`repro.queueing.scenarios` (``des-dumbbell``, ``des-parking-lot``,
+  ``des-chain``, ``des-mesh``) and ``des-crossval``, the DES-vs-FP
+  cross-validation grid;
 * ``repro cache {info,list,clear}`` -- inspect or empty that cache;
 * ``--jobs N``, ``--no-cache`` and ``--cache-dir PATH`` on the experiment
   sub-commands above, which route their evaluations through the same

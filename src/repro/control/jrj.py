@@ -51,8 +51,17 @@ class JRJControl(RateControl):
     def drift(self, queue_length, rate):
         """Return ``dλ/dt`` following Equation 2 of the paper.
 
-        Vectorised: accepts scalars or arrays for both arguments.
+        Vectorised: accepts scalars or arrays for both arguments.  Plain
+        Python numbers skip the array machinery entirely: the packet-level
+        simulator evaluates this once per control interval per source, and
+        the branch below computes the identical float without allocating
+        three temporaries.
         """
+        if isinstance(queue_length, (float, int)) and isinstance(rate,
+                                                                 (float, int)):
+            if queue_length <= self.q_target:
+                return self.c0
+            return -self.c1 * rate
         queue_length = np.asarray(queue_length, dtype=float)
         rate = np.asarray(rate, dtype=float)
         increase = np.full(np.broadcast(queue_length, rate).shape, self.c0)

@@ -18,9 +18,10 @@ The simulator validates the continuous models: the fairness, oscillation and
 delay-unfairness experiments all have a packet-level counterpart.
 """
 
-from .events import Event, EventQueue
+from .events import Event, EventQueue, PeriodicTimer, ReferenceEventQueue
 from .packet import Packet
 from .random_streams import (
+    BufferedJitter,
     RandomStreams,
     child_seed_sequence,
     child_seed_sequences,
@@ -32,9 +33,19 @@ from .queue_node import BottleneckQueue
 from .feedback import FeedbackChannel
 from .source import RateSource, WindowSource
 from .network import NetworkConfig, SourceConfig
-from .simulator import Simulator, SimulationResult
+from .simulator import EVENT_ENGINES, Simulator, SimulationResult
 from .topology import MultiHopConfig, NodeConfig, Route
 from .multihop import MultiHopResult, MultiHopSimulator, parking_lot_scenario
+from .scenarios import (
+    ScenarioSpec,
+    available_scenarios,
+    build_scenario,
+    chain_scenario,
+    dumbbell_scenario,
+    get_scenario,
+    random_mesh_scenario,
+    register_scenario,
+)
 
 __all__ = [
     "NodeConfig",
@@ -45,7 +56,11 @@ __all__ = [
     "parking_lot_scenario",
     "Event",
     "EventQueue",
+    "PeriodicTimer",
+    "ReferenceEventQueue",
+    "EVENT_ENGINES",
     "Packet",
+    "BufferedJitter",
     "RandomStreams",
     "child_seed_sequence",
     "child_seed_sequences",
@@ -61,4 +76,12 @@ __all__ = [
     "SourceConfig",
     "Simulator",
     "SimulationResult",
+    "ScenarioSpec",
+    "available_scenarios",
+    "build_scenario",
+    "chain_scenario",
+    "dumbbell_scenario",
+    "get_scenario",
+    "random_mesh_scenario",
+    "register_scenario",
 ]

@@ -36,6 +36,8 @@ class FeedbackChannel:
         Callback invoked with the payload when it arrives.
     """
 
+    __slots__ = ("_events", "delay", "_receiver", "delivered_count")
+
     def __init__(self, event_queue: EventQueue, delay: float,
                  receiver: Callable[[object], None]):
         if delay < 0.0:
@@ -51,5 +53,5 @@ class FeedbackChannel:
             self.delivered_count += 1
             self._receiver(payload)
 
-        self._events.schedule(self._events.current_time + self.delay, deliver,
-                              label="feedback delivery")
+        self._events.schedule_call(self._events.current_time + self.delay,
+                                   deliver)

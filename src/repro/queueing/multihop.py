@@ -18,14 +18,12 @@ delay.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
-
-import numpy as np
+from typing import Dict, List, Optional, Tuple
 
 from ..control.window import DECbitWindow, JacobsonWindow
 from ..exceptions import ConfigurationError
 from ..multisource.fairness import jain_fairness_index
-from .events import EventQueue
+from .events import resolve_engine
 from .packet import Packet
 from .queue_node import BottleneckQueue
 from .random_streams import RandomStreams
@@ -62,6 +60,7 @@ class MultiHopResult:
     hop_counts: Dict[str, int]
     node_mean_queue: Dict[str, float]
     losses: Dict[str, int]
+    events_executed: int = 0
 
     def fairness_index(self) -> float:
         """Jain index of the per-route throughputs."""
@@ -84,11 +83,17 @@ class MultiHopResult:
 
 
 class MultiHopSimulator:
-    """Event-driven simulation of window-controlled connections over a topology."""
+    """Event-driven simulation of window-controlled connections over a topology.
 
-    def __init__(self, config: MultiHopConfig):
+    Accepts the same ``engine`` selector as :class:`~repro.queueing.Simulator`
+    (``"fast"`` or ``"reference"``); both engines produce bit-identical
+    traces for a given configuration and seed.
+    """
+
+    def __init__(self, config: MultiHopConfig, engine: str = "fast"):
         self.config = config
-        self.events = EventQueue()
+        self.engine = engine
+        self.events = resolve_engine(engine)()
         self.streams = RandomStreams(config.seed)
         # One trace per node for queue lengths; one global trace for
         # per-connection counters and window series.
@@ -98,10 +103,16 @@ class MultiHopSimulator:
         self._routes: List[Route] = list(config.routes)
         self._sources: List[WindowSource] = []
         self._route_of_source: Dict[int, Route] = {}
-        self._next_hop_index: Dict[int, Dict[int, int]] = {}
+        # Forwarding is resolved per (node, source) once at build time: the
+        # seed scanned ``route.hops.index(node)`` per forwarded packet.
+        # Entries are ``(next_node, hop_delay)`` for intermediate hops and
+        # ``(None, return_delay)`` at the route's last hop.
+        self._forwarding: Dict[str, Dict[int, Tuple[Optional[BottleneckQueue],
+                                                    float]]] = {}
 
         self._build_nodes()
         self._build_sources()
+        self._build_forwarding_tables()
 
     # -- construction ------------------------------------------------------
 
@@ -143,7 +154,20 @@ class MultiHopSimulator:
                 explicit_congestion=explicit)
             self._sources.append(source)
             self._route_of_source[index] = route
-            self._next_hop_index[index] = {}
+
+    def _build_forwarding_tables(self) -> None:
+        for name in self._nodes:
+            self._forwarding[name] = {}
+        for index, route in enumerate(self._routes):
+            hops = list(route.hops)
+            for position, name in enumerate(hops):
+                if position + 1 < len(hops):
+                    entry = (self._nodes[hops[position + 1]], route.hop_delay)
+                else:
+                    entry = (None, route.hop_count * route.hop_delay)
+                # setdefault: for (degenerate) routes that revisit a node,
+                # the seed forwarded from the first occurrence.
+                self._forwarding[name].setdefault(index, entry)
 
     # -- packet forwarding ---------------------------------------------------
 
@@ -153,37 +177,31 @@ class MultiHopSimulator:
         return handle
 
     def _forward(self, packet: Packet, node_name: str) -> None:
-        route = self._route_of_source[packet.source_id]
-        position = route.hops.index(node_name)
-        if position + 1 < len(route.hops):
-            next_node = self._nodes[route.hops[position + 1]]
+        next_node, delay = self._forwarding[node_name][packet.source_id]
+        if next_node is not None:
             # Clear per-node bookkeeping so the next hop re-times the packet.
             packet.enqueue_time = None
             packet.departure_time = None
-            self.events.schedule(
-                self.events.current_time + route.hop_delay,
-                lambda p=packet, node=next_node: node.receive(p),
-                label=f"forward {route.source_name}")
+            self.events.schedule_call(
+                self.events.current_time + delay,
+                lambda p=packet, node=next_node: node.receive(p))
         else:
             # Delivered end to end: count it and return the acknowledgement
             # over the route's return path.
             self.connection_trace.count_delivery(packet.source_id)
-            return_delay = route.hop_count * route.hop_delay
             source = self._sources[packet.source_id]
-            self.events.schedule(
-                self.events.current_time + return_delay,
-                lambda p=packet, s=source: s.handle_ack(p),
-                label=f"ack {route.source_name}")
+            self.events.schedule_call(
+                self.events.current_time + delay,
+                lambda p=packet, s=source: s.handle_ack(p))
 
     def _handle_drop(self, packet: Packet) -> None:
         route = self._route_of_source[packet.source_id]
         self.connection_trace.count_loss(packet.source_id)
         source = self._sources[packet.source_id]
         # The sender learns about the loss after roughly one round trip.
-        self.events.schedule(
+        self.events.schedule_call(
             self.events.current_time + route.round_trip_propagation,
-            lambda p=packet, s=source: s.handle_drop(p),
-            label=f"drop notification {route.source_name}")
+            lambda p=packet, s=source: s.handle_drop(p))
 
     # -- execution -----------------------------------------------------------
 
@@ -195,7 +213,7 @@ class MultiHopSimulator:
             trace.queue_length.record(0.0, 0.0)
         for source in self._sources:
             source.start(at_time=0.0)
-        self.events.run_until(duration)
+        executed = self.events.run_until(duration)
 
         deliveries = self.connection_trace.deliveries
         losses = self.connection_trace.losses
@@ -214,7 +232,7 @@ class MultiHopSimulator:
         return MultiHopResult(config=self.config, duration=duration,
                               throughputs=throughputs, hop_counts=hop_counts,
                               node_mean_queue=node_mean_queue,
-                              losses=loss_counts)
+                              losses=loss_counts, events_executed=executed)
 
 
 def parking_lot_scenario(n_extra_hops: int = 2, service_rate: float = 10.0,

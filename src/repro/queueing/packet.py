@@ -2,13 +2,13 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 __all__ = ["Packet"]
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A data packet travelling from a source through the bottleneck.
 

@@ -8,6 +8,14 @@ arriving to a full queue are dropped, and a marking threshold implements the
 explicit congestion bit of the DECbit scheme: packets that arrive while the
 queue exceeds the threshold carry the congestion indication back to their
 source.
+
+This node sits on the simulator's hottest path (two trace samples and one
+scheduled completion per served packet), so the per-packet work is kept
+allocation-light: completions are scheduled through the engine's
+fire-and-forget path with a bound method cached at construction, queue
+samples go through the trace's unchecked append, and the service-time
+stream is resolved once instead of per draw.  Every floating-point
+expression matches the seed implementation so traces stay bit-identical.
 """
 
 from __future__ import annotations
@@ -53,6 +61,13 @@ class BottleneckQueue:
         Callback invoked with each dropped packet.
     """
 
+    __slots__ = ("_events", "_trace", "service_rate", "buffer_size",
+                 "marking_threshold", "deterministic_service", "_streams",
+                 "on_departure", "on_drop", "_queue", "_busy",
+                 "total_arrivals", "total_departures", "total_drops",
+                 "_service_stream", "_record_sample", "_complete_action",
+                 "_count_loss", "_count_delivery")
+
     def __init__(self, event_queue: EventQueue, trace: SimulationTrace,
                  service_rate: float, buffer_size: Optional[int] = None,
                  marking_threshold: Optional[float] = None,
@@ -81,62 +96,68 @@ class BottleneckQueue:
         self.total_arrivals = 0
         self.total_departures = 0
         self.total_drops = 0
+        # Hot-path bindings resolved once: the "service" stream keeps its
+        # seed-identical name-derived state, the queue-length sampler skips
+        # the per-record monotonicity check, and the completion callback is
+        # one bound method instead of one per scheduled completion.
+        self._service_stream = (streams.stream("service")
+                                if streams is not None else None)
+        self._record_sample = trace.queue_length.append
+        self._count_loss = trace.count_loss
+        self._count_delivery = trace.count_delivery
+        self._complete_action = self._complete_service
 
     @property
     def queue_length(self) -> int:
         """Current number of packets held (including the one in service)."""
         return len(self._queue)
 
-    def _record_queue_length(self) -> None:
-        self._trace.queue_length.record(self._events.current_time,
-                                        float(self.queue_length))
+    def receive(self, packet: Packet) -> None:
+        """Handle a packet arriving at the bottleneck at the current time."""
+        self.total_arrivals += 1
+        held = len(self._queue)
+
+        if (self.marking_threshold is not None
+                and held >= self.marking_threshold):
+            packet.congestion_marked = True
+
+        if self.buffer_size is not None and held >= self.buffer_size:
+            packet.dropped = True
+            self.total_drops += 1
+            self._count_loss(packet.source_id)
+            if self.on_drop is not None:
+                self.on_drop(packet)
+            return
+
+        packet.enqueue_time = self._events.current_time
+        self._queue.append(packet)
+        self._record_sample(packet.enqueue_time, float(held + 1))
+        if not self._busy:
+            self._start_service()
 
     def _service_time(self, packet: Packet) -> float:
         mean = packet.size / self.service_rate
         if self.deterministic_service:
             return mean
-        return self._streams.exponential("service", mean)
-
-    def receive(self, packet: Packet) -> None:
-        """Handle a packet arriving at the bottleneck at the current time."""
-        now = self._events.current_time
-        self.total_arrivals += 1
-
-        if (self.marking_threshold is not None
-                and self.queue_length >= self.marking_threshold):
-            packet.congestion_marked = True
-
-        if self.buffer_size is not None and self.queue_length >= self.buffer_size:
-            packet.dropped = True
-            self.total_drops += 1
-            self._trace.count_loss(packet.source_id)
-            if self.on_drop is not None:
-                self.on_drop(packet)
-            return
-
-        packet.enqueue_time = now
-        self._queue.append(packet)
-        self._record_queue_length()
-        if not self._busy:
-            self._start_service()
+        return float(self._service_stream.exponential(mean))
 
     def _start_service(self) -> None:
-        if not self._queue:
+        queue = self._queue
+        if not queue:
             self._busy = False
             return
         self._busy = True
-        packet = self._queue[0]
-        completion_time = self._events.current_time + self._service_time(packet)
-        self._events.schedule(completion_time, self._complete_service,
-                              label=f"service src={packet.source_id} "
-                                    f"seq={packet.sequence_number}")
+        service = self._service_time(queue[0])
+        self._events.schedule_call(self._events.current_time + service,
+                                   self._complete_action)
 
     def _complete_service(self) -> None:
         packet = self._queue.popleft()
-        packet.departure_time = self._events.current_time
+        now = self._events.current_time
+        packet.departure_time = now
         self.total_departures += 1
-        self._trace.count_delivery(packet.source_id)
-        self._record_queue_length()
+        self._count_delivery(packet.source_id)
+        self._record_sample(now, float(len(self._queue)))
         if self.on_departure is not None:
             self.on_departure(packet)
         self._start_service()

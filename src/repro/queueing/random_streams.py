@@ -24,6 +24,7 @@ import numpy as np
 from ..exceptions import ConfigurationError
 
 __all__ = [
+    "BufferedJitter",
     "RandomStreams",
     "child_seed_sequence",
     "child_seed_sequences",
@@ -108,6 +109,46 @@ def derive_child_seeds(master_seed: int, n_children: int,
             for index in range(n_children)]
 
 
+class BufferedJitter:
+    """Per-packet jitter factors served from block-refilled uniform draws.
+
+    ``Generator.uniform(low, high, n)`` consumes the identical bit-stream
+    positions as *n* scalar ``uniform(low, high)`` calls, so serving factors
+    from a block buffer is bit-identical to the seed's draw-per-packet
+    pattern while amortising the numpy call overhead over ``block_size``
+    packets.  One instance owns one named stream, so refill timing cannot
+    interleave with other consumers.
+    """
+
+    __slots__ = ("_generator", "_jitter_fraction", "_block_size", "_buffer",
+                 "_index")
+
+    def __init__(self, generator: np.random.Generator,
+                 jitter_fraction: float, block_size: int = 256):
+        if jitter_fraction <= 0.0:
+            raise ConfigurationError("jitter_fraction must be positive")
+        if block_size < 1:
+            raise ConfigurationError("block_size must be at least 1")
+        self._generator = generator
+        self._jitter_fraction = float(jitter_fraction)
+        self._block_size = int(block_size)
+        self._buffer: List[float] = []
+        self._index = 0
+
+    def next_factor(self) -> float:
+        """The next multiplicative factor ``1 + U(-j, +j)`` as a float."""
+        index = self._index
+        buffer = self._buffer
+        if index >= len(buffer):
+            jitter = self._jitter_fraction
+            buffer = self._generator.uniform(-jitter, jitter,
+                                             self._block_size).tolist()
+            self._buffer = buffer
+            index = 0
+        self._index = index + 1
+        return 1.0 + buffer[index]
+
+
 class RandomStreams:
     """A family of independently seeded :class:`numpy.random.Generator` streams.
 
@@ -146,6 +187,15 @@ class RandomStreams:
     def deterministic(self, _name: str, value: float) -> float:
         """Return *value* unchanged (deterministic 'distribution' helper)."""
         return float(value)
+
+    def jitter_factors(self, name: str, jitter_fraction: float,
+                       block_size: int = 256) -> BufferedJitter:
+        """A :class:`BufferedJitter` over stream *name* (hot-path variant).
+
+        Draws the same variates as repeated :meth:`uniform_jitter` calls on
+        the same stream; do not mix the two on one name within a run.
+        """
+        return BufferedJitter(self.stream(name), jitter_fraction, block_size)
 
     def uniform_jitter(self, name: str, base: float, jitter_fraction: float) -> float:
         """Return *base* perturbed by a uniform factor in ``±jitter_fraction``."""

@@ -18,7 +18,7 @@ from ..control.registry import create_control
 from ..control.window import DECbitWindow, JacobsonWindow
 from ..exceptions import ConfigurationError
 from ..multisource.fairness import jain_fairness_index
-from .events import EventQueue
+from .events import EVENT_ENGINES, resolve_engine
 from .feedback import FeedbackChannel
 from .network import NetworkConfig, SourceConfig
 from .packet import Packet
@@ -27,7 +27,7 @@ from .random_streams import RandomStreams
 from .source import RateSource, WindowSource
 from .trace import SimulationTrace
 
-__all__ = ["Simulator", "SimulationResult"]
+__all__ = ["Simulator", "SimulationResult", "EVENT_ENGINES"]
 
 
 @dataclass
@@ -51,6 +51,7 @@ class SimulationResult:
     trace: SimulationTrace
     duration: float
     throughputs: Dict[int, float]
+    events_executed: int = 0
 
     @property
     def mean_queue_length(self) -> float:
@@ -82,11 +83,23 @@ class SimulationResult:
 
 
 class Simulator:
-    """Builds and runs one packet-level simulation from a :class:`NetworkConfig`."""
+    """Builds and runs one packet-level simulation from a :class:`NetworkConfig`.
 
-    def __init__(self, config: NetworkConfig):
+    Parameters
+    ----------
+    config:
+        The declarative network description.
+    engine:
+        Event-engine selector (see :data:`EVENT_ENGINES`): ``"fast"``
+        (default) or ``"reference"``.  Both engines yield bit-identical
+        traces for the same config and seed; the reference engine exists
+        for differential tests and the scaling benchmark.
+    """
+
+    def __init__(self, config: NetworkConfig, engine: str = "fast"):
         self.config = config
-        self.events = EventQueue()
+        self.engine = engine
+        self.events = resolve_engine(engine)()
         self.trace = SimulationTrace()
         self.streams = RandomStreams(config.seed)
         self._sources: List[Union[RateSource, WindowSource]] = []
@@ -105,6 +118,22 @@ class Simulator:
 
         for index, source_config in enumerate(config.sources):
             self._sources.append(self._build_source(index, source_config))
+
+        # Per-source ack routing table: the departure/drop callbacks fire
+        # once per packet, so an index into this list replaces the seed's
+        # per-packet isinstance checks (entries are None for rate sources,
+        # which consume no acknowledgements).
+        self._window_acks: List[Union[FeedbackChannel, None]] = [
+            self._ack_channels.get(index)
+            if isinstance(source, WindowSource) else None
+            for index, source in enumerate(self._sources)
+        ]
+        # Pure rate-source configurations consume no acknowledgements and
+        # no drop notifications at all: unhook the per-packet callbacks so
+        # the bottleneck skips them entirely.
+        if not any(channel is not None for channel in self._window_acks):
+            self.bottleneck.on_departure = None
+            self.bottleneck.on_drop = None
 
     # -- construction ------------------------------------------------------
 
@@ -158,20 +187,20 @@ class Simulator:
     # -- feedback routing --------------------------------------------------
 
     def _route_ack(self, packet: Packet) -> None:
-        source = self._sources[packet.source_id]
-        if isinstance(source, WindowSource):
-            self._ack_channels[packet.source_id].send(packet)
+        channel = self._window_acks[packet.source_id]
+        if channel is not None:
+            channel.send(packet)
 
     def _route_drop(self, packet: Packet) -> None:
-        source = self._sources[packet.source_id]
-        if isinstance(source, WindowSource):
-            channel = self._ack_channels[packet.source_id]
+        channel = self._window_acks[packet.source_id]
+        if channel is not None:
+            source = self._sources[packet.source_id]
             # Drop notifications travel over the same return path; model the
             # detection latency as one channel delay.
             def notify(payload=packet, src=source) -> None:
                 src.handle_drop(payload)
-            self.events.schedule(self.events.current_time + channel.delay,
-                                 notify, label="drop notification")
+            self.events.schedule_call(self.events.current_time + channel.delay,
+                                      notify)
 
     # -- execution ---------------------------------------------------------
 
@@ -187,11 +216,12 @@ class Simulator:
         self.trace.queue_length.record(0.0, 0.0)
         for source, source_config in zip(self._sources, self.config.sources):
             source.start(at_time=source_config.start_time)
-        self.events.run_until(duration)
+        executed = self.events.run_until(duration)
 
         throughputs = {
             index: self.trace.deliveries.get(index, 0) / duration
             for index in range(self.config.n_sources)
         }
         return SimulationResult(config=self.config, trace=self.trace,
-                                duration=duration, throughputs=throughputs)
+                                duration=duration, throughputs=throughputs,
+                                events_executed=executed)

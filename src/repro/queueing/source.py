@@ -12,6 +12,15 @@ decrease) through a :class:`repro.control.WindowControl` law.  Congestion is
 signalled either implicitly (a drop notification, the Jacobson/TCP case) or
 explicitly (the congestion bit carried by the acknowledgement, the DECbit
 case).
+
+Both sources sit on the per-packet hot path of runs with hundreds of
+senders, so they use ``__slots__``, schedule their sends through the
+engine's fire-and-forget path with bound methods cached at construction,
+and resolve per-source stream names and rate traces once instead of
+formatting/looking them up per packet.  The rate-control loop runs on a
+:class:`~repro.queueing.events.PeriodicTimer` (one preallocated repeating
+event per source).  All floating-point expressions match the seed, so a
+given seed produces bit-identical traces.
 """
 
 from __future__ import annotations
@@ -59,6 +68,12 @@ class RateSource:
         packets; a positive value models burstiness and feeds the σ² term).
     """
 
+    __slots__ = ("source_id", "_events", "_bottleneck", "_trace", "_streams",
+                 "control", "rate", "control_interval", "feedback_channel",
+                 "rate_floor", "jitter_fraction", "_sequence",
+                 "_last_seen_queue", "packets_sent", "_spacing_stream",
+                 "_jitter", "_rate_trace", "_send_action", "_control_timer")
+
     def __init__(self, source_id: int, event_queue: EventQueue,
                  bottleneck: BottleneckQueue, trace: SimulationTrace,
                  streams: RandomStreams, control: RateControl,
@@ -85,6 +100,15 @@ class RateSource:
         self._sequence = 0
         self._last_seen_queue = 0.0
         self.packets_sent = 0
+        # Hot-path bindings: the seed formatted the jitter stream name and a
+        # schedule label per packet; both are constant per source.
+        self._spacing_stream = f"spacing-{source_id}"
+        self._jitter = (streams.jitter_factors(self._spacing_stream,
+                                               self.jitter_fraction)
+                        if self.jitter_fraction > 0.0 else None)
+        self._rate_trace = trace.rate_trace(source_id)
+        self._send_action = self._send_next_packet
+        self._control_timer = None
 
     # -- feedback ---------------------------------------------------------
 
@@ -104,40 +128,36 @@ class RateSource:
 
     def start(self, at_time: float = 0.0) -> None:
         """Begin sending and schedule the periodic control updates."""
-        self._trace.rate_trace(self.source_id).record(at_time, self.rate)
-        self._events.schedule(at_time, self._send_next_packet,
+        self._rate_trace.record(at_time, self.rate)
+        self._events.schedule(at_time, self._send_action,
                               label=f"first packet src={self.source_id}")
-        self._events.schedule(at_time + self.control_interval,
-                              self._control_update,
-                              label=f"control update src={self.source_id}")
+        self._control_timer = self._events.schedule_periodic(
+            at_time + self.control_interval, self.control_interval,
+            self._control_update,
+            label=f"control update src={self.source_id}")
 
     def _control_update(self) -> None:
         now = self._events.current_time
         drift = float(self.control.drift(self._last_seen_queue, self.rate))
         self.rate = max(self.rate + drift * self.control_interval,
                         self.rate_floor)
-        self._trace.rate_trace(self.source_id).record(now, self.rate)
+        self._rate_trace.record(now, self.rate)
         self._request_feedback()
-        self._events.schedule(now + self.control_interval, self._control_update,
-                              label=f"control update src={self.source_id}")
 
     # -- packet emission --------------------------------------------------
 
     def _send_next_packet(self) -> None:
-        now = self._events.current_time
-        packet = Packet(source_id=self.source_id,
-                        sequence_number=self._sequence,
-                        creation_time=now)
+        events = self._events
+        now = events.current_time
+        packet = Packet(self.source_id, self._sequence, now)
         self._sequence += 1
         self.packets_sent += 1
         self._bottleneck.receive(packet)
 
         spacing = 1.0 / max(self.rate, self.rate_floor)
-        if self.jitter_fraction > 0.0:
-            spacing = self._streams.uniform_jitter(
-                f"spacing-{self.source_id}", spacing, self.jitter_fraction)
-        self._events.schedule(now + spacing, self._send_next_packet,
-                              label=f"packet src={self.source_id}")
+        if self._jitter is not None:
+            spacing = spacing * self._jitter.next_factor()
+        events.schedule_call(now + spacing, self._send_action)
 
 
 class WindowSource:
@@ -164,6 +184,12 @@ class WindowSource:
         notifications (Jacobson / TCP-style implicit feedback).
     """
 
+    __slots__ = ("source_id", "_events", "_bottleneck", "_trace", "control",
+                 "ack_channel", "window", "packet_spacing",
+                 "explicit_congestion", "_sequence", "_outstanding",
+                 "packets_sent", "acks_received", "congestion_signals",
+                 "_rate_trace", "_fill_action")
+
     def __init__(self, source_id: int, event_queue: EventQueue,
                  bottleneck: BottleneckQueue, trace: SimulationTrace,
                  control: WindowControl, ack_channel: FeedbackChannel,
@@ -187,11 +213,13 @@ class WindowSource:
         self.packets_sent = 0
         self.acks_received = 0
         self.congestion_signals = 0
+        self._rate_trace = trace.rate_trace(source_id)
+        self._fill_action = self._fill_window
 
     def start(self, at_time: float = 0.0) -> None:
         """Record the initial window and start filling it."""
-        self._trace.rate_trace(self.source_id).record(at_time, self.window)
-        self._events.schedule(at_time, self._fill_window,
+        self._rate_trace.record(at_time, self.window)
+        self._events.schedule(at_time, self._fill_action,
                               label=f"start window src={self.source_id}")
 
     # -- sending ----------------------------------------------------------
@@ -200,17 +228,15 @@ class WindowSource:
         """Send packets until the window is full, spaced by packet_spacing."""
         if self._outstanding >= int(self.window):
             return
-        now = self._events.current_time
-        packet = Packet(source_id=self.source_id,
-                        sequence_number=self._sequence,
-                        creation_time=now)
+        events = self._events
+        now = events.current_time
+        packet = Packet(self.source_id, self._sequence, now)
         self._sequence += 1
         self._outstanding += 1
         self.packets_sent += 1
         self._bottleneck.receive(packet)
         if self._outstanding < int(self.window):
-            self._events.schedule(now + self.packet_spacing, self._fill_window,
-                                  label=f"window fill src={self.source_id}")
+            events.schedule_call(now + self.packet_spacing, self._fill_action)
 
     # -- feedback handling -------------------------------------------------
 
@@ -224,8 +250,7 @@ class WindowSource:
             self.window = self.control.on_congestion(self.window)
         else:
             self.window = self.control.on_ack(self.window)
-        self._trace.rate_trace(self.source_id).record(
-            self._events.current_time, self.window)
+        self._rate_trace.record(self._events.current_time, self.window)
         self._fill_window()
 
     def handle_drop(self, _packet: Packet) -> None:
@@ -233,6 +258,5 @@ class WindowSource:
         self._outstanding = max(self._outstanding - 1, 0)
         self.congestion_signals += 1
         self.window = self.control.on_congestion(self.window)
-        self._trace.rate_trace(self.source_id).record(
-            self._events.current_time, self.window)
+        self._rate_trace.record(self._events.current_time, self.window)
         self._fill_window()

@@ -49,6 +49,18 @@ class TimeSeriesTrace:
         self._times_array = None
         self._values_array = None
 
+    def append(self, time: float, value: float) -> None:
+        """Append a sample without the monotonicity check (hot path).
+
+        The simulator's event loop records under a monotone clock, so the
+        per-sample ordering check of :meth:`record` is redundant there; the
+        caller guarantees non-decreasing times and pre-converted floats.
+        The lazy array views need no explicit invalidation: the ``times`` /
+        ``values`` properties rebuild whenever their length falls behind.
+        """
+        self._times.append(time)
+        self._values.append(value)
+
     def __len__(self) -> int:
         return len(self._times)
 

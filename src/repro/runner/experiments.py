@@ -17,12 +17,14 @@ import numpy as np
 from ..characteristics import verify_theorem1
 from ..config import GridParameters, SystemParameters, TimeParameters
 from ..control.jrj import jrj_from_parameters
+from ..crossval import cross_validate
 from ..delay.delayed_model import DelayedSystem
 from ..delay.oscillation import measure_oscillation
 from ..exceptions import ConfigurationError
 from ..multisource import MultiSourceModel, fairness_report
 from ..queueing import MultiHopSimulator, Simulator
 from ..queueing.multihop import parking_lot_scenario
+from ..queueing.scenarios import get_scenario
 from ..workloads.scenarios import (
     homogeneous_sources_scenario,
     packet_level_jrj_scenario,
@@ -38,6 +40,8 @@ __all__ = [
     "fairness_point",
     "multihop_point",
     "packet_point",
+    "des_scenario_point",
+    "crossval_point",
     "MatrixDefinition",
     "available_matrices",
     "get_matrix",
@@ -177,6 +181,56 @@ def packet_point(seed: int = 0, n_sources: int = 2, duration: float = 200.0,
     }
 
 
+def des_scenario_point(scenario: str, duration: float = 120.0,
+                       seed: Optional[int] = None, engine: str = "fast",
+                       **scenario_kwargs) -> dict:
+    """Run one registered DES scenario and report its headline metrics.
+
+    *scenario* names an entry of :mod:`repro.queueing.scenarios`; extra
+    keyword arguments are forwarded to its builder.  A ``seed`` (derived
+    per job by the matrix layer) overrides the builder's default seed.
+    """
+    spec = get_scenario(scenario)
+    if seed is not None:
+        scenario_kwargs["seed"] = int(seed)
+    config = spec.build(**scenario_kwargs)
+
+    if spec.kind == "multihop":
+        result = MultiHopSimulator(config, engine=engine).run(duration)
+        throughputs = list(result.throughputs.values())
+        return {
+            "scenario": scenario,
+            "kind": spec.kind,
+            "jain_index": float(result.fairness_index()),
+            "total_throughput": float(sum(throughputs)),
+            "total_losses": int(sum(result.losses.values())),
+            "max_node_mean_queue":
+                float(max(result.node_mean_queue.values())),
+            "events_executed": int(result.events_executed),
+        }
+
+    result = Simulator(config, engine=engine).run(duration)
+    return {
+        "scenario": scenario,
+        "kind": spec.kind,
+        "jain_index": float(result.fairness_index()),
+        "utilization": float(result.utilization()),
+        "mean_queue": float(result.mean_queue_length),
+        "total_losses": int(result.total_losses),
+        "events_executed": int(result.events_executed),
+    }
+
+
+def crossval_point(params: SystemParameters, n_sources: int = 1,
+                   duration: float = 2000.0, t_end: float = 150.0,
+                   nq: int = 100, nv: int = 70,
+                   seed: int = 11) -> dict:
+    """DES-vs-FP cross-validation metrics for one matched configuration."""
+    report = cross_validate(params, n_sources=n_sources, duration=duration,
+                            t_end=t_end, nq=nq, nv=nv, seed=int(seed))
+    return report.to_dict()
+
+
 # ---------------------------------------------------------------------------
 # Named matrices for ``repro run``.
 # ---------------------------------------------------------------------------
@@ -229,6 +283,58 @@ def _theorem1_grid(params: SystemParameters, seed: Optional[int],
         master_seed=seed)
 
 
+def _des_dumbbell_grid(params: SystemParameters, seed: Optional[int],
+                       t_end: Optional[float]) -> List[JobSpec]:
+    return build_matrix(
+        des_scenario_point, None,
+        axes={"n_sources": [8, 32, 64]},
+        fixed={"scenario": "dumbbell",
+               "duration": t_end if t_end is not None else 60.0},
+        master_seed=seed)
+
+
+def _des_parking_lot_grid(params: SystemParameters, seed: Optional[int],
+                          t_end: Optional[float]) -> List[JobSpec]:
+    return build_matrix(
+        des_scenario_point, None,
+        axes={"n_extra_hops": [1, 2, 4],
+              "scheme": ["jacobson", "decbit"]},
+        fixed={"scenario": "parking-lot",
+               "duration": t_end if t_end is not None else 200.0},
+        master_seed=seed)
+
+
+def _des_chain_grid(params: SystemParameters, seed: Optional[int],
+                    t_end: Optional[float]) -> List[JobSpec]:
+    return build_matrix(
+        des_scenario_point, None,
+        axes={"n_hops": [2, 4, 8]},
+        fixed={"scenario": "chain",
+               "duration": t_end if t_end is not None else 200.0},
+        master_seed=seed)
+
+
+def _des_mesh_grid(params: SystemParameters, seed: Optional[int],
+                   t_end: Optional[float]) -> List[JobSpec]:
+    return build_matrix(
+        des_scenario_point, None,
+        axes={"n_routes": [6, 12], "max_hops": [2, 4]},
+        fixed={"scenario": "mesh", "n_nodes": 8,
+               "duration": t_end if t_end is not None else 150.0},
+        master_seed=seed)
+
+
+def _des_crossval_grid(params: SystemParameters, seed: Optional[int],
+                       t_end: Optional[float]) -> List[JobSpec]:
+    return build_matrix(
+        crossval_point, params,
+        axes={"sigma": [0.3, 0.5], "n_sources": [1, 4]},
+        fixed={"duration": 2000.0,
+               "t_end": t_end if t_end is not None else 150.0,
+               "nq": 100, "nv": 70},
+        master_seed=seed if seed is not None else 1991)
+
+
 _MATRICES: Dict[str, MatrixDefinition] = {
     "density-grid": MatrixDefinition(
         "density-grid",
@@ -246,6 +352,26 @@ _MATRICES: Dict[str, MatrixDefinition] = {
         "theorem1-grid",
         "Theorem 1 convergence over c0 x c1 (12 jobs)",
         _theorem1_grid),
+    "des-dumbbell": MatrixDefinition(
+        "des-dumbbell",
+        "packet-level dumbbell scaling over n_sources (3 jobs, seeded)",
+        _des_dumbbell_grid),
+    "des-parking-lot": MatrixDefinition(
+        "des-parking-lot",
+        "parking-lot unfairness over hops x scheme (6 jobs, seeded)",
+        _des_parking_lot_grid),
+    "des-chain": MatrixDefinition(
+        "des-chain",
+        "N-hop chain with cross traffic over n_hops (3 jobs, seeded)",
+        _des_chain_grid),
+    "des-mesh": MatrixDefinition(
+        "des-mesh",
+        "random-mesh DES over n_routes x max_hops (4 jobs, seeded)",
+        _des_mesh_grid),
+    "des-crossval": MatrixDefinition(
+        "des-crossval",
+        "DES-vs-FP agreement over sigma x n_sources (4 jobs, seeded)",
+        _des_crossval_grid),
 }
 
 

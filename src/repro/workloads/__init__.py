@@ -4,8 +4,19 @@ Every experiment in EXPERIMENTS.md starts from one of the scenario builders
 here so the parameters appearing in reports are defined in exactly one
 place.  The sweep runner evaluates a scenario-producing callable over a grid
 of parameter values and collects the results.
+
+The registered network topologies of :mod:`repro.queueing.scenarios`
+(dumbbell, parking-lot, chain, mesh) are re-exported here so workloads can
+be composed from one namespace.
 """
 
+from ..queueing.scenarios import (
+    available_scenarios,
+    build_scenario,
+    chain_scenario,
+    dumbbell_scenario,
+    random_mesh_scenario,
+)
 from .scenarios import (
     single_source_scenario,
     homogeneous_sources_scenario,
@@ -33,6 +44,11 @@ __all__ = [
     "heterogeneous_delay_scenario",
     "packet_level_jrj_scenario",
     "packet_level_window_scenario",
+    "available_scenarios",
+    "build_scenario",
+    "chain_scenario",
+    "dumbbell_scenario",
+    "random_mesh_scenario",
     "ParameterSweep",
     "GridSweep",
     "run_sweep",

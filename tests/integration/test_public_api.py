@@ -17,7 +17,7 @@ from repro import (
 
 class TestPublicAPI:
     def test_version_string(self):
-        assert repro.__version__ == "1.1.0"
+        assert repro.__version__ == "1.2.0"
 
     def test_all_exports_resolve(self):
         for name in repro.__all__:

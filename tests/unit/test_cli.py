@@ -109,8 +109,18 @@ class TestRunCommand:
         output = capsys.readouterr().out
         assert exit_code == 0
         for name in ("density-grid", "delay-grid", "ensemble-grid",
-                     "theorem1-grid"):
+                     "theorem1-grid", "des-dumbbell", "des-parking-lot",
+                     "des-chain", "des-mesh", "des-crossval"):
             assert name in output
+
+    def test_des_scenario_matrix_runs(self, capsys):
+        exit_code = main(["run", "des-dumbbell", "--t-end", "5", "--seed",
+                          "3", "--no-cache"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "n_sources=64" in output
+        assert "utilization" in output
+        assert "failed         : 0" in output
 
     def test_run_without_matrix_errors(self, capsys):
         assert main(["run"]) == 2

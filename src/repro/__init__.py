@@ -75,14 +75,18 @@ from .core import (
     tail_probability,
 )
 from .characteristics import (
+    CharacteristicBatch,
     CharacteristicTrajectory,
     analyze_spiral,
+    analyze_spiral_batch,
     classify_equilibrium,
     find_equilibrium,
     integrate_characteristic,
+    integrate_characteristic_batch,
     is_convergent_spiral,
     quadrant_drift_table,
     verify_theorem1,
+    verify_theorem1_batch,
 )
 from .multisource import (
     MultiSourceModel,
@@ -162,14 +166,18 @@ __all__ = [
     "marginal_v",
     "tail_probability",
     # characteristics / Section 5
+    "CharacteristicBatch",
     "CharacteristicTrajectory",
     "integrate_characteristic",
+    "integrate_characteristic_batch",
     "quadrant_drift_table",
     "find_equilibrium",
     "classify_equilibrium",
     "analyze_spiral",
+    "analyze_spiral_batch",
     "is_convergent_spiral",
     "verify_theorem1",
+    "verify_theorem1_batch",
     # multiple sources / Section 6
     "MultiSourceModel",
     "predicted_equilibrium_shares",

@@ -17,11 +17,16 @@ from .metrics import (
     root_mean_square_error,
 )
 from .report import format_table, format_series, format_key_values
-from .phase_portrait import render_phase_portrait, render_trajectory_portrait
+from .phase_portrait import (
+    render_phase_portrait,
+    render_trajectory_portrait,
+    render_batch_portrait,
+)
 
 __all__ = [
     "render_phase_portrait",
     "render_trajectory_portrait",
+    "render_batch_portrait",
     "ConvergenceReport",
     "assess_convergence",
     "settling_time",

@@ -11,21 +11,22 @@ a test log.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..exceptions import AnalysisError
 
-__all__ = ["render_phase_portrait", "render_trajectory_portrait"]
+__all__ = ["render_phase_portrait", "render_trajectory_portrait",
+           "render_batch_portrait"]
 
 _TRAJECTORY_MARKS = "abcdefghij"
 
 
 def render_phase_portrait(trajectories: Sequence[Tuple[np.ndarray, np.ndarray]],
                           q_target: float, width: int = 72, height: int = 24,
-                          q_range: Tuple[float, float] = None,
-                          v_range: Tuple[float, float] = None) -> str:
+                          q_range: Optional[Tuple[float, float]] = None,
+                          v_range: Optional[Tuple[float, float]] = None) -> str:
     """Render ``(q, ν)`` trajectories as an ASCII phase portrait.
 
     Parameters
@@ -67,25 +68,22 @@ def render_phase_portrait(trajectories: Sequence[Tuple[np.ndarray, np.ndarray]],
     if q_high <= q_low or v_high <= v_low:
         raise AnalysisError("axis ranges must have positive extent")
 
-    grid = [[" "] * width for _ in range(height)]
+    grid = np.full((height, width), " ", dtype="<U1")
 
-    def to_column(q: float) -> int:
+    def to_columns(q: np.ndarray) -> np.ndarray:
         fraction = (q - q_low) / (q_high - q_low)
-        return int(round(fraction * (width - 1)))
+        return np.round(fraction * (width - 1)).astype(int)
 
-    def to_row(v: float) -> int:
+    def to_rows(v: np.ndarray) -> np.ndarray:
         fraction = (v - v_low) / (v_high - v_low)
-        return (height - 1) - int(round(fraction * (height - 1)))
+        return (height - 1) - np.round(fraction * (height - 1)).astype(int)
 
     # Axis lines: nu = 0 and q = q_target (drawn first so data overwrites them).
     if v_low <= 0.0 <= v_high:
-        row = to_row(0.0)
-        for column in range(width):
-            grid[row][column] = "-"
+        grid[int(to_rows(np.asarray(0.0)))] = "-"
     if q_low <= q_target <= q_high:
-        column = to_column(q_target)
-        for row in range(height):
-            grid[row][column] = "|" if grid[row][column] == " " else "+"
+        column = int(to_columns(np.asarray(q_target)))
+        grid[:, column] = np.where(grid[:, column] == " ", "|", "+")
 
     for index, (q_values, v_values) in enumerate(trajectories):
         mark = _TRAJECTORY_MARKS[index % len(_TRAJECTORY_MARKS)]
@@ -93,14 +91,17 @@ def render_phase_portrait(trajectories: Sequence[Tuple[np.ndarray, np.ndarray]],
         v_values = np.asarray(v_values, dtype=float)
         if q_values.shape != v_values.shape:
             raise AnalysisError("trajectory q and v arrays must align")
-        for q, v in zip(q_values, v_values):
-            if not (q_low <= q <= q_high and v_low <= v <= v_high):
-                continue
-            grid[to_row(v)][to_column(q)] = mark
+        # Vectorized rasterisation: every in-range sample writes the same
+        # mark, so the scatter assignment is order-independent and matches
+        # the old per-sample loop cell for cell.
+        inside = ((q_low <= q_values) & (q_values <= q_high)
+                  & (v_low <= v_values) & (v_values <= v_high))
+        grid[to_rows(v_values[inside]), to_columns(q_values[inside])] = mark
 
     # Limit point marker (q_target, 0).
     if q_low <= q_target <= q_high and v_low <= 0.0 <= v_high:
-        grid[to_row(0.0)][to_column(q_target)] = "*"
+        grid[int(to_rows(np.asarray(0.0))),
+             int(to_columns(np.asarray(q_target)))] = "*"
 
     lines: List[str] = []
     lines.append(f"nu (growth rate)  range [{v_low:.3g}, {v_high:.3g}]")
@@ -123,3 +124,26 @@ def render_trajectory_portrait(trajectory, width: int = 72,
     return render_phase_portrait([(q_values, v_values)],
                                  q_target=trajectory.q_target,
                                  width=width, height=height)
+
+
+def render_batch_portrait(batch, width: int = 72, height: int = 24,
+                          q_range: Optional[Tuple[float, float]] = None,
+                          v_range: Optional[Tuple[float, float]] = None) -> str:
+    """Render a batched characteristic family in one portrait.
+
+    *batch* is a :class:`~repro.characteristics.trajectory.CharacteristicBatch`
+    (or anything exposing ``trajectory(i)``, ``batch_size`` and ``q_target``);
+    every member is drawn with its own letter, cycling through the marks.
+    The switching line is meaningful only for a family sharing one target, so
+    heterogeneous ``q_target`` columns are rejected.
+    """
+    q_targets = np.unique(np.asarray(batch.q_target, dtype=float))
+    if q_targets.size != 1:
+        raise AnalysisError(
+            "cannot draw one switching line for a family with heterogeneous "
+            "q_target values; render sub-families instead")
+    members = [batch.trajectory(index) for index in range(batch.batch_size)]
+    pairs = [(member.queue, member.rate - member.mu) for member in members]
+    return render_phase_portrait(pairs, q_target=float(q_targets[0]),
+                                 width=width, height=height,
+                                 q_range=q_range, v_range=v_range)

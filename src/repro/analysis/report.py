@@ -7,7 +7,7 @@ output looks the same and is easy to diff across runs.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Mapping, Sequence
+from typing import Iterable, List, Mapping, Optional, Sequence
 
 __all__ = ["format_table", "format_series", "format_key_values"]
 
@@ -26,7 +26,8 @@ def _format_cell(value) -> str:
 
 
 def format_table(rows: Sequence[Mapping[str, object]],
-                 columns: Sequence[str] = None, title: str = "") -> str:
+                 columns: Optional[Sequence[str]] = None,
+                 title: str = "") -> str:
     """Render a list of row dictionaries as an aligned plain-text table."""
     if not rows:
         return f"{title}\n(no rows)" if title else "(no rows)"

@@ -9,23 +9,40 @@ the qualitative change -- limit cycles -- introduced by delayed feedback
 (Section 7).  This subpackage reproduces each of those analyses.
 """
 
-from .trajectory import CharacteristicTrajectory, integrate_characteristic
+from .trajectory import (
+    CharacteristicBatch,
+    CharacteristicTrajectory,
+    integrate_characteristic,
+    integrate_characteristic_batch,
+)
 from .phase_plane import QuadrantDrift, quadrant_drift_table, drift_field
 from .equilibrium import Equilibrium, find_equilibrium, classify_equilibrium
 from .limit_cycle import (
     SpiralAnalysis,
     analyze_spiral,
+    analyze_spiral_batch,
     peak_contraction_ratios,
     is_convergent_spiral,
 )
-from .theorem1 import Theorem1Verification, verify_theorem1
-from .poincare import PoincareSection, compute_poincare_section
+from .theorem1 import (
+    Theorem1Verification,
+    verify_theorem1,
+    verify_theorem1_batch,
+)
+from .poincare import (
+    PoincareSection,
+    compute_poincare_section,
+    compute_poincare_sections,
+)
 
 __all__ = [
     "PoincareSection",
     "compute_poincare_section",
+    "compute_poincare_sections",
+    "CharacteristicBatch",
     "CharacteristicTrajectory",
     "integrate_characteristic",
+    "integrate_characteristic_batch",
     "QuadrantDrift",
     "quadrant_drift_table",
     "drift_field",
@@ -34,8 +51,10 @@ __all__ = [
     "classify_equilibrium",
     "SpiralAnalysis",
     "analyze_spiral",
+    "analyze_spiral_batch",
     "peak_contraction_ratios",
     "is_convergent_spiral",
     "Theorem1Verification",
     "verify_theorem1",
+    "verify_theorem1_batch",
 ]

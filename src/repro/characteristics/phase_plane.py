@@ -22,7 +22,7 @@ from the control law so the benchmark for Figure 2 reproduces the table, and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -66,8 +66,9 @@ def _sign(value: float, tolerance: float = 1e-12) -> int:
 
 
 def quadrant_drift_table(control: RateControl, params: SystemParameters,
-                         probe_offset_q: float = None,
-                         probe_offset_v: float = None) -> List[QuadrantDrift]:
+                         probe_offset_q: Optional[float] = None,
+                         probe_offset_v: Optional[float] = None
+                         ) -> List[QuadrantDrift]:
     """Evaluate the drift signs at a representative point of each quadrant.
 
     The probe points sit *probe_offset_q* away from the ``q = q̂`` line and

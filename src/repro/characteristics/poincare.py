@@ -18,14 +18,15 @@ amplitude.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
 from ..exceptions import AnalysisError
-from .trajectory import CharacteristicTrajectory
+from .trajectory import CharacteristicBatch, CharacteristicTrajectory
 
-__all__ = ["PoincareSection", "compute_poincare_section"]
+__all__ = ["PoincareSection", "compute_poincare_section",
+           "compute_poincare_sections"]
 
 
 @dataclass
@@ -129,28 +130,60 @@ def compute_poincare_section(trajectory: CharacteristicTrajectory,
     rate = trajectory.rate[start:]
     offset = queue - trajectory.q_target
 
-    crossing_times: List[float] = []
-    crossing_rates: List[float] = []
-    for i in range(1, offset.size):
-        previous, current = offset[i - 1], offset[i]
-        if previous == current:
-            continue
-        crossed_down = previous > 0.0 >= current
-        crossed_up = previous < 0.0 <= current
-        wanted = (direction == "both" and (crossed_down or crossed_up)) \
-            or (direction == "down" and crossed_down) \
-            or (direction == "up" and crossed_up)
-        if not wanted:
-            continue
-        # Linear interpolation of the crossing instant and rate.
-        fraction = previous / (previous - current)
-        crossing_times.append(float(times[i - 1]
-                                    + fraction * (times[i] - times[i - 1])))
-        crossing_rates.append(float(rate[i - 1]
-                                    + fraction * (rate[i] - rate[i - 1])))
+    # Vectorized crossing scan: the masks and the interpolation below apply
+    # the per-sample loop's arithmetic element-wise, so the recorded
+    # crossings are bit-identical to the scalar scan.
+    previous = offset[:-1]
+    current = offset[1:]
+    changed = previous != current
+    crossed_down = (previous > 0.0) & (current <= 0.0)
+    crossed_up = (previous < 0.0) & (current >= 0.0)
+    if direction == "down":
+        wanted = crossed_down
+    elif direction == "up":
+        wanted = crossed_up
+    else:
+        wanted = crossed_down | crossed_up
+    indices = np.nonzero(changed & wanted)[0] + 1
 
-    if not crossing_times:
+    if indices.size == 0:
         raise AnalysisError("trajectory never crosses the q = q_target section")
-    return PoincareSection(crossing_times=np.asarray(crossing_times),
-                           crossing_rates=np.asarray(crossing_rates),
+
+    previous = offset[indices - 1]
+    fraction = previous / (previous - offset[indices])
+    crossing_times = times[indices - 1] \
+        + fraction * (times[indices] - times[indices - 1])
+    crossing_rates = rate[indices - 1] \
+        + fraction * (rate[indices] - rate[indices - 1])
+    return PoincareSection(crossing_times=crossing_times,
+                           crossing_rates=crossing_rates,
                            mu=trajectory.mu)
+
+
+def compute_poincare_sections(batch: CharacteristicBatch,
+                              direction: str = "down",
+                              skip_fraction: float = 0.0,
+                              missing: str = "raise"
+                              ) -> List[Optional[PoincareSection]]:
+    """Section every member of a batched characteristic family.
+
+    Each member is sampled with :func:`compute_poincare_section`, so the
+    recorded crossings match the scalar path exactly.  A family produced by
+    one vectorized integration typically contains members that never reach
+    the section (e.g. monotone settlers in a gain sweep); ``missing``
+    decides whether those abort the sweep (``"raise"``, the scalar
+    behaviour) or appear as ``None`` entries (``"none"``).
+    """
+    if missing not in ("raise", "none"):
+        raise AnalysisError("missing must be 'raise' or 'none'")
+    sections: List[Optional[PoincareSection]] = []
+    for index in range(batch.batch_size):
+        try:
+            sections.append(compute_poincare_section(
+                batch.trajectory(index), direction=direction,
+                skip_fraction=skip_fraction))
+        except AnalysisError:
+            if missing == "raise":
+                raise
+            sections.append(None)
+    return sections

@@ -17,6 +17,7 @@ also exposed so tests can compare the integrator against the closed form.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Mapping, Optional
 
 import numpy as np
 
@@ -24,9 +25,14 @@ from ..config import SystemParameters
 from ..control.jrj import JRJControl
 from ..exceptions import AnalysisError
 from .limit_cycle import analyze_spiral
-from .trajectory import CharacteristicTrajectory, integrate_characteristic
+from .trajectory import (
+    CharacteristicTrajectory,
+    integrate_characteristic,
+    integrate_characteristic_batch,
+)
 
-__all__ = ["Theorem1Verification", "verify_theorem1", "parabolic_arc_queue"]
+__all__ = ["Theorem1Verification", "verify_theorem1", "verify_theorem1_batch",
+           "parabolic_arc_queue"]
 
 
 @dataclass(frozen=True)
@@ -80,8 +86,43 @@ def parabolic_arc_queue(times: np.ndarray, q_start: float, rate_start: float,
     return q_start + (rate_start - params.mu) * times + 0.5 * params.c0 * times ** 2
 
 
+def _default_horizon(q_target: float, c0: float) -> float:
+    """Parameter-scaled default horizon: many increase/decrease sweeps."""
+    # One increase sweep takes about sqrt(2 q_target / C0); allow many.
+    return 60.0 * float(np.sqrt(max(2.0 * q_target / c0, 1.0)))
+
+
+def _verification_from_trajectory(trajectory: CharacteristicTrajectory
+                                  ) -> Theorem1Verification:
+    """Analyse one characteristic and package the Theorem 1 verdict.
+
+    Shared by the scalar and batched verifiers so both produce literally the
+    same analysis for the same trajectory.
+    """
+    try:
+        analysis = analyze_spiral(trajectory)
+        converges = analysis.converges
+        mean_ratio = analysis.mean_contraction
+        n_oscillations = analysis.n_oscillations
+    except AnalysisError:
+        # No peaks at all: monotone settling, which satisfies the theorem.
+        converges = True
+        mean_ratio = 0.0
+        n_oscillations = 0
+
+    return Theorem1Verification(
+        converges=converges,
+        final_queue_error=abs(trajectory.final_queue - trajectory.q_target),
+        final_rate_error=abs(trajectory.final_rate - trajectory.mu),
+        mean_contraction_ratio=float(mean_ratio) if np.isfinite(mean_ratio)
+        else 0.0,
+        n_oscillations=n_oscillations,
+        trajectory=trajectory)
+
+
 def verify_theorem1(params: SystemParameters, q0: float = 0.0,
-                    rate0: float = None, t_end: float = None,
+                    rate0: Optional[float] = None,
+                    t_end: Optional[float] = None,
                     dt: float = 0.02) -> Theorem1Verification:
     """Numerically verify Theorem 1 for the given parameters.
 
@@ -101,29 +142,68 @@ def verify_theorem1(params: SystemParameters, q0: float = 0.0,
     if rate0 is None:
         rate0 = 0.5 * params.mu
     if t_end is None:
-        # One increase sweep takes about sqrt(2 q_target / C0); allow many.
-        sweep = np.sqrt(max(2.0 * params.q_target / params.c0, 1.0))
-        t_end = 60.0 * sweep
+        t_end = _default_horizon(params.q_target, params.c0)
 
     control = JRJControl(c0=params.c0, c1=params.c1, q_target=params.q_target)
     trajectory = integrate_characteristic(control, params, q0=q0, rate0=rate0,
                                           t_end=t_end, dt=dt)
+    return _verification_from_trajectory(trajectory)
 
-    try:
-        analysis = analyze_spiral(trajectory)
-        converges = analysis.converges
-        mean_ratio = analysis.mean_contraction
-        n_oscillations = analysis.n_oscillations
-    except AnalysisError:
-        # No peaks at all: monotone settling, which satisfies the theorem.
-        converges = True
-        mean_ratio = 0.0
-        n_oscillations = 0
 
-    return Theorem1Verification(
-        converges=converges,
-        final_queue_error=abs(trajectory.final_queue - params.q_target),
-        final_rate_error=abs(trajectory.final_rate - params.mu),
-        mean_contraction_ratio=float(mean_ratio) if np.isfinite(mean_ratio) else 0.0,
-        n_oscillations=n_oscillations,
-        trajectory=trajectory)
+def verify_theorem1_batch(params: SystemParameters, q0=0.0, rate0=None,
+                          t_end: Optional[float] = None, dt: float = 0.02,
+                          columns: Optional[Mapping[str, object]] = None
+                          ) -> List[Theorem1Verification]:
+    """Verify Theorem 1 for a whole parameter/initial-condition family at once.
+
+    The family is integrated as **one** batched characteristic run (see
+    :func:`~repro.characteristics.trajectory.integrate_characteristic_batch`)
+    and each member is then analysed with exactly the scalar verifier's
+    logic, so for any member the returned verification carries the same
+    verdict -- and a bit-identical trajectory -- as
+    :func:`verify_theorem1` called with that member's point parameters.
+
+    Parameters
+    ----------
+    params:
+        Base system parameters; ``sigma`` is ignored as in the scalar form.
+    q0, rate0:
+        Initial queue lengths / rates, scalars or per-trajectory arrays.
+        ``rate0=None`` defaults to half the (per-trajectory) service rate.
+    t_end:
+        Shared horizon.  ``None`` picks the *largest* of the members'
+        parameter-scaled default horizons -- every member integrates at
+        least as long as its scalar default, but members with smaller
+        defaults see a longer run than scalar ``verify_theorem1`` would
+        give them; pass an explicit ``t_end`` for strict scalar parity.
+    dt:
+        Shared step size.
+    columns:
+        Per-trajectory :class:`~repro.config.SystemParameters` columns:
+        any of ``"c0"``, ``"c1"``, ``"q_target"``, ``"mu"``.
+    """
+    columns = {name: np.atleast_1d(np.asarray(value, dtype=float))
+               for name, value in dict(columns or {}).items()}
+    unknown = sorted(set(columns) - {"c0", "c1", "q_target", "mu"})
+    if unknown:
+        raise AnalysisError(
+            f"verify_theorem1_batch accepts columns c0/c1/q_target/mu, "
+            f"got {unknown}")
+
+    mu_values = columns.get("mu", np.asarray([params.mu]))
+    if rate0 is None:
+        rate0 = 0.5 * mu_values
+    if t_end is None:
+        q_target_values = columns.get("q_target",
+                                      np.asarray([params.q_target]))
+        c0_values = columns.get("c0", np.asarray([params.c0]))
+        pairs = np.broadcast_arrays(q_target_values, c0_values)
+        t_end = max(_default_horizon(float(q_target), float(c0))
+                    for q_target, c0 in zip(*pairs))
+
+    control = JRJControl(c0=params.c0, c1=params.c1, q_target=params.q_target)
+    batch = integrate_characteristic_batch(control, params, q0=q0,
+                                           rate0=rate0, t_end=t_end, dt=dt,
+                                           columns=columns)
+    return [_verification_from_trajectory(batch.trajectory(index))
+            for index in range(batch.batch_size)]

@@ -10,20 +10,39 @@ these curves; :func:`integrate_characteristic` produces them and
 :class:`CharacteristicTrajectory` provides the derived series (growth rate,
 distance to the limit point, crossings of the target line) that the later
 analyses consume.
+
+:func:`integrate_characteristic_batch` is the vectorized form: it runs a
+whole family of characteristics -- a grid of initial conditions and/or
+per-trajectory parameter columns (``c0``/``c1``/``q_target``/``mu``) -- as a
+single batched RK4 integration, and :class:`CharacteristicBatch` exposes the
+family with vectorized derived series.  Every member of the batch is bit-
+identical to the scalar :func:`integrate_characteristic` run with the same
+point parameters, so the sweeps built on top (Theorem 1 grids, Poincaré
+sections, phase portraits) keep their scalar-era results exactly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Callable, List, Mapping, Optional
 
 import numpy as np
 
 from ..config import SystemParameters
 from ..control.base import RateControl
-from ..numerics.ode import integrate_fixed
+from ..exceptions import ConfigurationError
+from ..numerics.ode import BatchODEResult, integrate_fixed, integrate_fixed_batch
 
-__all__ = ["CharacteristicTrajectory", "integrate_characteristic"]
+__all__ = [
+    "CharacteristicTrajectory",
+    "CharacteristicBatch",
+    "integrate_characteristic",
+    "integrate_characteristic_batch",
+]
+
+#: Parameter columns understood by :func:`integrate_characteristic_batch`
+#: that are consumed by the queue dynamics rather than the control law.
+_DYNAMICS_COLUMNS = ("mu",)
 
 
 @dataclass
@@ -80,13 +99,12 @@ class CharacteristicTrajectory:
     def target_crossings(self) -> List[int]:
         """Indices where the path crosses the ``q = q̂`` switching line."""
         offset = self.queue - self.q_target
-        crossings: List[int] = []
-        for i in range(1, offset.size):
-            if offset[i - 1] == 0.0:
-                continue
-            if offset[i - 1] * offset[i] < 0.0:
-                crossings.append(i)
-        return crossings
+        if offset.size < 2:
+            return []
+        previous = offset[:-1]
+        current = offset[1:]
+        mask = (previous != 0.0) & (previous * current < 0.0)
+        return (np.nonzero(mask)[0] + 1).tolist()
 
     def time_average_rate(self, skip_fraction: float = 0.2) -> float:
         """Time-average arrival rate over the trajectory tail.
@@ -135,3 +153,216 @@ def integrate_characteristic(control: RateControl, params: SystemParameters,
                                     queue=result.states[:, 0],
                                     rate=result.states[:, 1],
                                     mu=params.mu, q_target=q_target)
+
+
+@dataclass
+class CharacteristicBatch:
+    """A family of characteristics integrated as one state block.
+
+    Attributes
+    ----------
+    times:
+        Shared sample times, shape ``(n,)``.
+    queue, rate:
+        Queue lengths and arrival rates along every path, shape
+        ``(n, batch)``.  Rows past a trajectory's ``n_samples`` (possible
+        only under event termination) are frozen copies of its last state.
+    mu, q_target:
+        Per-trajectory service rate and control target, shape ``(batch,)``.
+    n_samples:
+        Valid samples per trajectory.
+    event_times:
+        Terminal-event times (``NaN`` where no event fired).
+    """
+
+    times: np.ndarray
+    queue: np.ndarray
+    rate: np.ndarray
+    mu: np.ndarray
+    q_target: np.ndarray
+    n_samples: np.ndarray
+    event_times: np.ndarray
+
+    @property
+    def batch_size(self) -> int:
+        """Number of characteristics in the family."""
+        return self.queue.shape[1]
+
+    @property
+    def growth_rate(self) -> np.ndarray:
+        """Queue growth rates ``ν(t) = λ(t) − μ``, shape ``(n, batch)``."""
+        return self.rate - self.mu[None, :]
+
+    @property
+    def final_queues(self) -> np.ndarray:
+        """Queue length of every path at its last valid sample."""
+        return self.queue[self.n_samples - 1, np.arange(self.batch_size)]
+
+    @property
+    def final_rates(self) -> np.ndarray:
+        """Arrival rate of every path at its last valid sample."""
+        return self.rate[self.n_samples - 1, np.arange(self.batch_size)]
+
+    def distance_to_limit_point(self) -> np.ndarray:
+        """Normalised distances to each path's limit point, shape ``(n, batch)``.
+
+        Element-wise identical to
+        :meth:`CharacteristicTrajectory.distance_to_limit_point` evaluated on
+        each extracted trajectory.
+        """
+        q_scale = np.maximum(self.q_target, 1.0)[None, :]
+        r_scale = np.maximum(self.mu, 1e-12)[None, :]
+        return np.sqrt(((self.queue - self.q_target[None, :]) / q_scale) ** 2
+                       + ((self.rate - self.mu[None, :]) / r_scale) ** 2)
+
+    def target_crossing_counts(self) -> np.ndarray:
+        """Number of ``q = q̂`` crossings per trajectory, shape ``(batch,)``.
+
+        Vectorized across the family; agrees with
+        ``len(trajectory.target_crossings())`` for every member (frozen
+        tails repeat the last sample and can contribute no sign change).
+        """
+        offsets = self.queue - self.q_target[None, :]
+        previous = offsets[:-1]
+        current = offsets[1:]
+        mask = (previous != 0.0) & (previous * current < 0.0)
+        return mask.sum(axis=0)
+
+    def time_average_rates(self, skip_fraction: float = 0.2) -> np.ndarray:
+        """Per-trajectory tail-averaged throughput, shape ``(batch,)``."""
+        return np.array([self.trajectory(i).time_average_rate(skip_fraction)
+                         for i in range(self.batch_size)])
+
+    def event_time(self, index: int) -> Optional[float]:
+        """Terminal-event time of one trajectory, or ``None``."""
+        value = float(self.event_times[index])
+        return None if np.isnan(value) else value
+
+    def trajectory(self, index: int) -> CharacteristicTrajectory:
+        """Extract one member as a scalar :class:`CharacteristicTrajectory`.
+
+        Bit-identical to :func:`integrate_characteristic` run with the
+        member's initial conditions and parameter column values.
+        """
+        n = int(self.n_samples[index])
+        return CharacteristicTrajectory(times=self.times[:n],
+                                        queue=self.queue[:n, index],
+                                        rate=self.rate[:n, index],
+                                        mu=float(self.mu[index]),
+                                        q_target=float(self.q_target[index]))
+
+    def trajectories(self) -> List[CharacteristicTrajectory]:
+        """All members as scalar trajectories."""
+        return [self.trajectory(i) for i in range(self.batch_size)]
+
+
+def _broadcast_columns(arrays: Mapping[str, np.ndarray]) -> Mapping[str, np.ndarray]:
+    """Broadcast 1-D per-trajectory columns to their common batch length."""
+    shapes = [value.shape for value in arrays.values()]
+    try:
+        (batch,) = np.broadcast_shapes(*shapes)
+    except ValueError as error:
+        raise ConfigurationError(
+            f"per-trajectory columns do not broadcast: {error}") from None
+    return {name: np.ascontiguousarray(np.broadcast_to(value, (batch,)))
+            for name, value in arrays.items()}
+
+
+def integrate_characteristic_batch(
+        control: RateControl, params: SystemParameters,
+        q0, rate0, t_end: float, dt: float = 0.02,
+        columns: Optional[Mapping[str, object]] = None,
+        event: Optional[Callable[[float, np.ndarray, np.ndarray], np.ndarray]] = None,
+        ) -> CharacteristicBatch:
+    """Integrate a family of characteristics as one batched RK4 run.
+
+    Parameters
+    ----------
+    control, params:
+        Control law and base system parameters shared by the family.
+    q0, rate0:
+        Initial queue lengths and arrival rates; scalars or 1-D arrays that
+        broadcast against each other (and the columns) to the batch size.
+    t_end, dt:
+        Shared integration horizon and step size.
+    columns:
+        Optional per-trajectory parameter columns.  ``"mu"`` overrides the
+        service rate of the queue dynamics; every other name is forwarded to
+        ``control.drift_batch`` as a per-trajectory gain column (for
+        :class:`~repro.control.jrj.JRJControl`: ``c0``, ``c1``,
+        ``q_target``).  Scalars and length-``batch`` arrays both work.
+    event:
+        Optional batched terminal event ``event(t, states, indices)`` (see
+        :data:`repro.numerics.ode.BatchRHS`); trajectories stop individually
+        at their first sign change.
+
+    Every member of the returned family is bit-identical to
+    :func:`integrate_characteristic` run scalar with the same point values.
+    """
+    q0 = np.atleast_1d(np.asarray(q0, dtype=float))
+    rate0 = np.atleast_1d(np.asarray(rate0, dtype=float))
+    raw_columns = {name: np.atleast_1d(np.asarray(value, dtype=float))
+                   for name, value in dict(columns or {}).items()}
+    reserved = sorted(set(raw_columns) & {"q0", "rate0"})
+    if reserved:
+        raise ConfigurationError(
+            f"initial conditions are arguments, not columns: pass "
+            f"{', '.join(reserved)} directly to "
+            f"integrate_characteristic_batch")
+    broadcast = _broadcast_columns({"q0": q0, "rate0": rate0, **raw_columns})
+    q0 = broadcast.pop("q0")
+    rate0 = broadcast.pop("rate0")
+    mu_column = broadcast.pop("mu", None)
+    gain_columns = dict(broadcast)
+
+    batch = q0.shape[0]
+    mu = (mu_column if mu_column is not None
+          else np.full(batch, float(params.mu)))
+    heterogeneous_mu = mu_column is not None
+    mu_scalar = float(params.mu)
+
+    # Fail fast on unsupported gain columns (rather than on step one).
+    if gain_columns:
+        probe = {name: value[:1] for name, value in gain_columns.items()}
+        try:
+            control.drift_batch(q0[:1], rate0[:1], **probe)
+        except TypeError:
+            names = ", ".join(sorted(gain_columns))
+            raise ConfigurationError(
+                f"{control.name} does not accept per-trajectory columns "
+                f"{names}") from None
+
+    def rhs(_t: float, states: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        q = states[:, 0]
+        lam = states[:, 1]
+        dq = lam - (mu[indices] if heterogeneous_mu else mu_scalar)
+        dq = np.where((q <= 0.0) & (dq < 0.0), 0.0, dq)
+        if gain_columns:
+            dlam = control.drift_batch(
+                q, lam, **{name: value[indices]
+                           for name, value in gain_columns.items()})
+        else:
+            dlam = np.asarray(control.drift(q, lam), dtype=float)
+        derivative = np.empty_like(states)
+        derivative[:, 0] = dq
+        derivative[:, 1] = dlam
+        return derivative
+
+    def project(states: np.ndarray) -> np.ndarray:
+        return np.maximum(states, 0.0)
+
+    result: BatchODEResult = integrate_fixed_batch(
+        rhs, np.column_stack([q0, rate0]), t_end=t_end, dt=dt,
+        projection=project, event=event)
+
+    if "q_target" in gain_columns:
+        q_target = gain_columns["q_target"]
+    else:
+        q_target = np.full(batch, float(getattr(control, "q_target",
+                                                params.q_target)))
+    return CharacteristicBatch(times=result.times,
+                               queue=result.states[:, :, 0],
+                               rate=result.states[:, :, 1],
+                               mu=mu, q_target=q_target,
+                               n_samples=result.n_samples,
+                               event_times=result.event_times)

@@ -23,6 +23,8 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+from ..exceptions import ConfigurationError
+
 __all__ = ["RateControl", "WindowControl"]
 
 
@@ -45,6 +47,28 @@ class RateControl(ABC):
         rate:
             Scalar or array of current arrival rates ``λ`` (same shape).
         """
+
+    def drift_batch(self, queue_length, rate, **columns):
+        """Array-in/array-out drift with per-trajectory parameter columns.
+
+        The batched trajectory engine calls this with ``(n_active,)`` arrays
+        of queue lengths and rates plus optional keyword *columns* that
+        override the law's own gains trajectory by trajectory (for example
+        ``c0=np.array([...])`` for a gain sweep).  The accepted column names
+        are law-specific; laws that implement no override simply inherit
+        this fallback, which supports the no-column case through the plain
+        (already vectorised) :meth:`drift`.
+
+        Implementations must be bit-compatible with :meth:`drift`: for any
+        element, the returned drift must equal what the scalar path would
+        produce for the same ``(q, λ)`` and the same effective gains.
+        """
+        if columns:
+            names = ", ".join(sorted(columns))
+            raise ConfigurationError(
+                f"{self.name} accepts no per-trajectory parameter columns "
+                f"(got: {names})")
+        return np.asarray(self.drift(queue_length, rate), dtype=float)
 
     def drift_in_growth_coordinates(self, queue_length, growth_rate, mu: float):
         """Return ``dν/dt`` where ``ν = λ − μ`` is the queue growth rate.

@@ -64,12 +64,27 @@ class JRJControl(RateControl):
             return -self.c1 * rate
         queue_length = np.asarray(queue_length, dtype=float)
         rate = np.asarray(rate, dtype=float)
-        increase = np.full(np.broadcast(queue_length, rate).shape, self.c0)
-        decrease = -self.c1 * rate
-        result = np.where(queue_length <= self.q_target, increase, decrease)
+        result = np.where(queue_length <= self.q_target, self.c0,
+                          -self.c1 * rate)
         if result.shape == ():
             return float(result)
         return result
+
+    def drift_batch(self, queue_length, rate, c0=None, c1=None,
+                    q_target=None):
+        """Batched drift with optional per-trajectory ``c0``/``c1``/``q_target``.
+
+        Columns left at ``None`` fall back to the law's own (scalar) gains;
+        each element of the result is bit-identical to what :meth:`drift`
+        returns for that element's effective parameters.
+        """
+        queue_length = np.asarray(queue_length, dtype=float)
+        rate = np.asarray(rate, dtype=float)
+        c0 = self.c0 if c0 is None else np.asarray(c0, dtype=float)
+        c1 = self.c1 if c1 is None else np.asarray(c1, dtype=float)
+        q_target = (self.q_target if q_target is None
+                    else np.asarray(q_target, dtype=float))
+        return np.where(queue_length <= q_target, c0, -c1 * rate)
 
     def describe(self) -> str:
         return (f"JRJ linear-increase/exponential-decrease "

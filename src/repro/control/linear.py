@@ -52,6 +52,21 @@ class LinearIncreaseLinearDecrease(RateControl):
             return float(result)
         return result
 
+    def drift_batch(self, queue_length, rate, c0=None, d0=None,
+                    q_target=None):
+        """Batched drift with optional per-trajectory ``c0``/``d0``/``q_target``.
+
+        Called by the batched trajectory engine with ``(n_active,)`` arrays;
+        each element is bit-identical to the scalar :meth:`drift` under the
+        element's effective gains.
+        """
+        queue_length = np.asarray(queue_length, dtype=float)
+        c0 = self.c0 if c0 is None else np.asarray(c0, dtype=float)
+        d0 = self.d0 if d0 is None else np.asarray(d0, dtype=float)
+        q_target = (self.q_target if q_target is None
+                    else np.asarray(q_target, dtype=float))
+        return np.where(queue_length <= q_target, c0, -d0)
+
     def describe(self) -> str:
         return (f"linear-increase/linear-decrease "
                 f"(C0={self.c0:g}, D0={self.d0:g}, q_target={self.q_target:g})")

@@ -52,6 +52,20 @@ class MultiplicativeIncreaseMultiplicativeDecrease(RateControl):
             return float(result)
         return result
 
+    def drift_batch(self, queue_length, rate, increase_gain=None,
+                    decrease_gain=None, q_target=None):
+        """Batched drift with per-trajectory gain/target columns."""
+        queue_length = np.asarray(queue_length, dtype=float)
+        rate = np.asarray(rate, dtype=float)
+        increase_gain = (self.increase_gain if increase_gain is None
+                         else np.asarray(increase_gain, dtype=float))
+        decrease_gain = (self.decrease_gain if decrease_gain is None
+                         else np.asarray(decrease_gain, dtype=float))
+        q_target = (self.q_target if q_target is None
+                    else np.asarray(q_target, dtype=float))
+        return np.where(queue_length <= q_target, increase_gain * rate,
+                        -decrease_gain * rate)
+
     def describe(self) -> str:
         return (f"multiplicative-increase/multiplicative-decrease "
                 f"(A={self.increase_gain:g}, B={self.decrease_gain:g}, "
@@ -93,6 +107,20 @@ class LinearIncreaseMultiplicativeStepDecrease(RateControl):
         if result.shape == ():
             return float(result)
         return result
+
+    def drift_batch(self, queue_length, rate, c0=None, c1=None,
+                    q_target=None, max_decrease=None):
+        """Batched drift with per-trajectory ``c0``/``c1``/``q_target``/cap."""
+        queue_length = np.asarray(queue_length, dtype=float)
+        rate = np.asarray(rate, dtype=float)
+        c0 = self.c0 if c0 is None else np.asarray(c0, dtype=float)
+        c1 = self.c1 if c1 is None else np.asarray(c1, dtype=float)
+        q_target = (self.q_target if q_target is None
+                    else np.asarray(q_target, dtype=float))
+        max_decrease = (self.max_decrease if max_decrease is None
+                        else np.asarray(max_decrease, dtype=float))
+        decrease = -np.minimum(c1 * np.abs(rate), max_decrease)
+        return np.where(queue_length <= q_target, c0, decrease)
 
     def describe(self) -> str:
         return (f"linear-increase/capped-multiplicative-decrease "

@@ -18,7 +18,7 @@ for experiment E7.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -74,7 +74,8 @@ class HeterogeneousDelayResult:
 
 def heterogeneous_delay_experiment(params: SystemParameters,
                                    delays: Sequence[float],
-                                   c0: float = None, c1: float = None,
+                                   c0: Optional[float] = None,
+                                   c1: Optional[float] = None,
                                    q0: float = 0.0, t_end: float = 800.0,
                                    dt: float = 0.02,
                                    skip_fraction: float = 0.4

@@ -14,7 +14,7 @@ guidance for choosing ``C0`` and ``C1`` that the paper's analysis enables.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from ..config import SystemParameters
 from ..control.jrj import JRJControl
@@ -33,7 +33,8 @@ def _steady_amplitude(params: SystemParameters, control: JRJControl,
     return measure_oscillation(trajectory).queue_amplitude
 
 
-def critical_delay(params: SystemParameters, control: JRJControl = None,
+def critical_delay(params: SystemParameters,
+                   control: Optional[JRJControl] = None,
                    amplitude_threshold: float = 0.5,
                    delay_upper_bound: float = 20.0,
                    tolerance: float = 0.05, t_end: float = 600.0,

@@ -18,13 +18,14 @@ integrated by the method of steps.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List
 
 import numpy as np
 
+from ..characteristics.trajectory import integrate_characteristic_batch
 from ..config import SystemParameters
 from ..control.base import RateControl
 from ..numerics.dde import integrate_dde
-from ..numerics.ode import integrate_fixed
 
 __all__ = ["FluidModel", "FluidTrajectory"]
 
@@ -97,21 +98,14 @@ class FluidModel:
 
     def solve(self, q0: float, rate0: float, t_end: float,
               dt: float = 0.02) -> FluidTrajectory:
-        """Integrate the fluid model from ``(q0, rate0)`` until ``t_end``."""
-        if self.feedback_delay == 0.0:
-            def rhs(_t: float, state: np.ndarray) -> np.ndarray:
-                q, lam = state
-                return np.array([
-                    self._queue_drift(q, lam),
-                    float(np.asarray(self.control.drift(q, lam))),
-                ])
+        """Integrate the fluid model from ``(q0, rate0)`` until ``t_end``.
 
-            result = integrate_fixed(rhs, [q0, rate0], t_end=t_end, dt=dt,
-                                     projection=self._project)
-            return FluidTrajectory(times=result.times,
-                                   queue=result.states[:, 0],
-                                   rate=result.states[:, 1],
-                                   mu=self.params.mu)
+        The undelayed model rides the batched characteristic engine (as a
+        family of one), which is bit-identical to the scalar fixed-step
+        integration the model used before.
+        """
+        if self.feedback_delay == 0.0:
+            return self.solve_batch([q0], [rate0], t_end=t_end, dt=dt)[0]
 
         delay = self.feedback_delay
 
@@ -129,3 +123,26 @@ class FluidModel:
                                queue=result.states[:, 0],
                                rate=result.states[:, 1],
                                mu=self.params.mu)
+
+    def solve_batch(self, q0, rate0, t_end: float,
+                    dt: float = 0.02) -> List[FluidTrajectory]:
+        """Integrate a family of fluid trajectories as one batched run.
+
+        *q0* and *rate0* are scalars or broadcastable 1-D arrays of initial
+        conditions.  Only the undelayed model batches (the delayed model is
+        a DDE with per-trajectory history and stays scalar); each returned
+        trajectory is bit-identical to ``solve`` from the same point.
+        """
+        if self.feedback_delay != 0.0:
+            raise ValueError(
+                "solve_batch supports only the undelayed fluid model")
+        # The undelayed fluid system *is* the characteristic system (pinned
+        # queue drift, non-negativity projection), so the integration is
+        # delegated to the one batched implementation of those dynamics.
+        batch = integrate_characteristic_batch(self.control, self.params,
+                                               q0, rate0, t_end=t_end, dt=dt)
+        return [FluidTrajectory(times=batch.times,
+                                queue=batch.queue[:, index],
+                                rate=batch.rate[:, index],
+                                mu=self.params.mu)
+                for index in range(batch.batch_size)]

@@ -17,13 +17,21 @@ from .backend import (
     register_backend,
 )
 from .integrate import trapezoid, simpson, cumulative_trapezoid, normalize_density
-from .interpolate import linear_interpolate, bilinear_interpolate, Interpolant1D
+from .interpolate import (
+    linear_interpolate,
+    bilinear_interpolate,
+    interp_columns,
+    Interpolant1D,
+)
 from .ode import (
     euler_step,
     rk4_step,
     integrate_fixed,
     integrate_adaptive,
+    integrate_fixed_batch,
+    integrate_adaptive_batch,
     ODEResult,
+    BatchODEResult,
 )
 from .dde import DelayBuffer, integrate_dde, DDEResult
 from .sde import euler_maruyama, milstein, SDEPaths
@@ -47,12 +55,16 @@ __all__ = [
     "normalize_density",
     "linear_interpolate",
     "bilinear_interpolate",
+    "interp_columns",
     "Interpolant1D",
     "euler_step",
     "rk4_step",
     "integrate_fixed",
     "integrate_adaptive",
+    "integrate_fixed_batch",
+    "integrate_adaptive_batch",
     "ODEResult",
+    "BatchODEResult",
     "DelayBuffer",
     "integrate_dde",
     "DDEResult",

@@ -10,6 +10,16 @@ detection, Poincaré sections) can operate on the trajectory directly.
 A small event facility is provided: an ``event`` callable evaluated on the
 state can terminate integration when it changes sign, used for example to
 detect crossings of the ``q = q̂`` switching line.
+
+Batched variants integrate a whole *family* of trajectories as one
+``(batch, dim)`` state block: :func:`integrate_fixed_batch` steps every
+trajectory of the block through the identical RK4 update (so a batch of one
+is bit-identical to :func:`integrate_fixed`), records into preallocated
+strided storage, and handles per-trajectory terminal events through an
+active mask that compacts the working block as trajectories finish.
+:func:`integrate_adaptive_batch` is the embedded 4(5) analogue with a
+per-trajectory time, step size and accept/reject mask.  Both return a
+:class:`BatchODEResult`.
 """
 
 from __future__ import annotations
@@ -20,11 +30,21 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from ..exceptions import ConvergenceError, StabilityError
+from .interpolate import interp_columns
 
 __all__ = ["euler_step", "rk4_step", "integrate_fixed", "integrate_adaptive",
-           "ODEResult"]
+           "integrate_fixed_batch", "integrate_adaptive_batch",
+           "ODEResult", "BatchODEResult"]
 
 RHS = Callable[[float, np.ndarray], np.ndarray]
+
+#: Right-hand side of a batched system: ``rhs(t, states, indices)`` receives
+#: the block of currently-active states, shape ``(n_active, dim)``, plus the
+#: integer array of *original* trajectory indices those rows correspond to
+#: (so per-trajectory parameter columns can be gathered after the engine has
+#: compacted finished trajectories away).  ``t`` is a scalar for the fixed-
+#: step engine and an ``(n_active,)`` array for the adaptive engine.
+BatchRHS = Callable[[object, np.ndarray, np.ndarray], np.ndarray]
 
 
 @dataclass
@@ -60,12 +80,13 @@ class ODEResult:
         return self.states[:, index]
 
     def resample(self, times: np.ndarray) -> np.ndarray:
-        """Linearly resample the trajectory at the given *times*."""
+        """Linearly resample the trajectory at the given *times*.
+
+        All state components are interpolated in one vectorized pass;
+        the result matches a per-component ``np.interp`` loop exactly.
+        """
         times = np.asarray(times, dtype=float)
-        resampled = np.empty((times.size, self.states.shape[1]))
-        for j in range(self.states.shape[1]):
-            resampled[:, j] = np.interp(times, self.times, self.states[:, j])
-        return resampled
+        return interp_columns(times, self.times, self.states)
 
 
 def euler_step(rhs: RHS, t: float, state: np.ndarray, dt: float) -> np.ndarray:
@@ -140,6 +161,228 @@ def integrate_fixed(rhs: RHS, initial_state: Sequence[float], t_end: float,
             previous_event = current_event
 
     return ODEResult(np.asarray(times), np.asarray(states), event_time)
+
+
+@dataclass
+class BatchODEResult:
+    """A family of trajectories integrated as one state block.
+
+    Attributes
+    ----------
+    times:
+        Sample times.  Shape ``(n,)`` when all trajectories share the fixed
+        step grid, or ``(n, batch)`` when each trajectory owns its grid
+        (the adaptive engine).
+    states:
+        State block, shape ``(n, batch, dim)``.  Rows past a trajectory's
+        ``n_samples`` are frozen copies of its last valid sample, so
+        whole-block reductions stay meaningful after early termination.
+    n_samples:
+        Number of valid samples per trajectory, shape ``(batch,)``.
+    event_times:
+        Per-trajectory terminal-event times (``NaN`` where no event fired).
+    failed:
+        Boolean mask of trajectories stopped by a non-finite state (only
+        ever set under ``on_nonfinite="mask"``).
+    """
+
+    times: np.ndarray
+    states: np.ndarray
+    n_samples: np.ndarray
+    event_times: np.ndarray
+    failed: np.ndarray
+
+    @property
+    def batch_size(self) -> int:
+        """Number of trajectories in the block."""
+        return self.states.shape[1]
+
+    @property
+    def dim(self) -> int:
+        """State dimension."""
+        return self.states.shape[2]
+
+    @property
+    def shared_grid(self) -> bool:
+        """Whether all trajectories share one time grid."""
+        return self.times.ndim == 1
+
+    @property
+    def final_states(self) -> np.ndarray:
+        """Last valid state of every trajectory, shape ``(batch, dim)``."""
+        rows = self.n_samples - 1
+        return self.states[rows, np.arange(self.batch_size)]
+
+    @property
+    def final_times(self) -> np.ndarray:
+        """Last valid sample time of every trajectory, shape ``(batch,)``."""
+        rows = self.n_samples - 1
+        if self.shared_grid:
+            return self.times[rows]
+        return self.times[rows, np.arange(self.batch_size)]
+
+    def component(self, index: int) -> np.ndarray:
+        """All trajectories of one state component, shape ``(n, batch)``."""
+        return self.states[:, :, index]
+
+    def event_time(self, trajectory: int) -> Optional[float]:
+        """Terminal-event time of one trajectory, or ``None``."""
+        value = float(self.event_times[trajectory])
+        return None if np.isnan(value) else value
+
+    def trajectory(self, index: int) -> ODEResult:
+        """Extract one trajectory as a scalar :class:`ODEResult`.
+
+        The extracted arrays are views truncated to the trajectory's valid
+        samples; for a batch of one produced by :func:`integrate_fixed_batch`
+        they are bit-identical to the output of :func:`integrate_fixed`.
+        """
+        n = int(self.n_samples[index])
+        times = self.times[:n] if self.shared_grid else self.times[:n, index]
+        return ODEResult(times, self.states[:n, index],
+                         self.event_time(index))
+
+    def trajectories(self) -> List[ODEResult]:
+        """All trajectories as scalar results."""
+        return [self.trajectory(i) for i in range(self.batch_size)]
+
+
+def _as_state_block(initial_states: Sequence[Sequence[float]]) -> np.ndarray:
+    """Coerce initial conditions to a fresh ``(batch, dim)`` float block."""
+    block = np.array(initial_states, dtype=float, copy=True)
+    if block.ndim == 1:
+        block = block.reshape(1, -1)
+    if block.ndim != 2 or block.size == 0:
+        raise ConvergenceError(
+            "initial_states must be a non-empty (batch, dim) block")
+    return block
+
+
+def _freeze_tails(storage: np.ndarray, n_samples: np.ndarray,
+                  n_rows: int) -> None:
+    """Repeat each trajectory's last valid row through the remaining rows."""
+    for index in np.nonzero(n_samples < n_rows)[0]:
+        last = int(n_samples[index]) - 1
+        storage[last + 1:n_rows, index] = storage[last, index]
+
+
+def integrate_fixed_batch(rhs: BatchRHS,
+                          initial_states: Sequence[Sequence[float]],
+                          t_end: float, dt: float, t_start: float = 0.0,
+                          projection: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+                          event: Optional[BatchRHS] = None,
+                          on_nonfinite: str = "raise") -> BatchODEResult:
+    """Integrate a ``(batch, dim)`` family with fixed-step RK4.
+
+    Every trajectory sees exactly the floating-point operations of
+    :func:`integrate_fixed` (same step schedule, same RK4 expression), so a
+    batch of one reproduces the scalar integrator bit for bit as long as
+    *rhs* and *projection* are element-wise equivalents of their scalar
+    counterparts.
+
+    Parameters
+    ----------
+    rhs:
+        Batched right-hand side ``rhs(t, states, indices) -> (n_active, dim)``
+        (see :data:`BatchRHS`).
+    initial_states:
+        Initial conditions, shape ``(batch, dim)`` (a single ``(dim,)``
+        vector is treated as a batch of one).
+    t_end, dt, t_start:
+        Integration horizon, step size and start time (shared by the batch).
+    projection:
+        Optional element-wise constraint applied to the state block after
+        every step.
+    event:
+        Optional per-trajectory scalar function
+        ``event(t, states, indices) -> (n_active,)``; a trajectory stops at
+        the first step where its event value changes sign.  Finished
+        trajectories are compacted out of the working block immediately, so
+        the per-step cost tracks the number of *live* trajectories.
+    on_nonfinite:
+        ``"raise"`` (default) mirrors the scalar integrator and raises
+        :class:`StabilityError` as soon as any trajectory goes non-finite;
+        ``"mask"`` instead stops only the offending trajectories and flags
+        them in ``BatchODEResult.failed`` so a parameter sweep survives
+        isolated blow-ups.
+    """
+    if dt <= 0.0:
+        raise ConvergenceError("dt must be positive")
+    if t_end <= t_start:
+        raise ConvergenceError("t_end must exceed t_start")
+    if on_nonfinite not in ("raise", "mask"):
+        raise ConvergenceError("on_nonfinite must be 'raise' or 'mask'")
+
+    states = _as_state_block(initial_states)
+    batch, dim = states.shape
+    n_steps = int(np.ceil((t_end - t_start) / dt))
+
+    times = np.empty(n_steps + 1)
+    storage = np.empty((n_steps + 1, batch, dim))
+    times[0] = t_start
+    storage[0] = states
+    n_samples = np.ones(batch, dtype=np.intp)
+    event_times = np.full(batch, np.nan)
+    failed = np.zeros(batch, dtype=bool)
+
+    active = np.arange(batch)
+    previous_event = None
+    if event is not None:
+        previous_event = np.asarray(event(t_start, states, active),
+                                    dtype=float)
+
+    n_rows = n_steps + 1
+    t = t_start
+    for step_index in range(1, n_steps + 1):
+        step = min(dt, t_end - t)
+        k1 = np.asarray(rhs(t, states, active), dtype=float)
+        k2 = np.asarray(rhs(t + 0.5 * step, states + 0.5 * step * k1, active),
+                        dtype=float)
+        k3 = np.asarray(rhs(t + 0.5 * step, states + 0.5 * step * k2, active),
+                        dtype=float)
+        k4 = np.asarray(rhs(t + step, states + step * k3, active), dtype=float)
+        states = states + step / 6.0 * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+        if projection is not None:
+            states = projection(states)
+        t += step
+        times[step_index] = t
+
+        finite = np.isfinite(states).all(axis=1)
+        if not finite.all():
+            if on_nonfinite == "raise":
+                raise StabilityError(
+                    f"ODE state became non-finite at t={t:.6g}")
+            failed[active[~finite]] = True
+            active = active[finite]
+            states = states[finite]
+            if previous_event is not None:
+                previous_event = previous_event[finite]
+            if active.size == 0:
+                n_rows = step_index
+                break
+
+        storage[step_index, active] = states
+        n_samples[active] = step_index + 1
+
+        if event is not None:
+            current_event = np.asarray(event(t, states, active), dtype=float)
+            fired = previous_event * current_event < 0.0
+            if fired.any():
+                event_times[active[fired]] = t
+                keep = ~fired
+                active = active[keep]
+                states = states[keep]
+                previous_event = current_event[keep]
+                if active.size == 0:
+                    n_rows = step_index + 1
+                    break
+            else:
+                previous_event = current_event
+
+    _freeze_tails(storage, n_samples, n_rows)
+    return BatchODEResult(times=times[:n_rows], states=storage[:n_rows],
+                          n_samples=n_samples, event_times=event_times,
+                          failed=failed)
 
 
 # Coefficients of the Runge-Kutta-Fehlberg 4(5) embedded pair.
@@ -218,3 +461,125 @@ def integrate_adaptive(rhs: RHS, initial_state: Sequence[float], t_end: float,
                                iterations=max_steps)
 
     return ODEResult(np.asarray(times), np.asarray(states))
+
+
+def integrate_adaptive_batch(rhs: BatchRHS,
+                             initial_states: Sequence[Sequence[float]],
+                             t_end: float, t_start: float = 0.0,
+                             rtol: float = 1e-6, atol: float = 1e-9,
+                             initial_dt: float = 1e-2, max_dt: float = 1.0,
+                             min_dt: float = 1e-10,
+                             projection: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+                             max_steps: int = 2_000_000) -> BatchODEResult:
+    """Adaptive Runge-Kutta-Fehlberg 4(5) over a ``(batch, dim)`` family.
+
+    Each trajectory carries its own clock and step size; one loop iteration
+    attempts a step for every live trajectory simultaneously and accepts or
+    rejects per trajectory through a step mask.  Error control, the step-size
+    update and the stage arithmetic are the element-wise images of
+    :func:`integrate_adaptive`, so a batch of one reproduces the scalar
+    adaptive integrator bit for bit.  Because accepted times differ across
+    the batch, the result carries a per-trajectory time grid
+    (``times`` of shape ``(n, batch)``).
+
+    *rhs* receives the per-trajectory stage times as an ``(n_active,)``
+    array (see :data:`BatchRHS`); an autonomous right-hand side can simply
+    ignore them.
+    """
+    states = _as_state_block(initial_states)
+    batch, dim = states.shape
+
+    t = np.full(batch, float(t_start))
+    dt = np.full(batch, float(initial_dt))
+    attempts = np.zeros(batch, dtype=np.int64)
+
+    capacity = 256
+    times = np.empty((capacity, batch))
+    storage = np.empty((capacity, batch, dim))
+    times[0] = t_start
+    storage[0] = states
+    n_samples = np.ones(batch, dtype=np.intp)
+
+    active = np.arange(batch)
+    while active.size:
+        done = t[active] >= t_end
+        if done.any():
+            keep = ~done
+            active = active[keep]
+            states = states[keep]
+            if active.size == 0:
+                break
+        t_act = t[active]
+        dt_act = np.minimum(np.minimum(dt[active], t_end - t_act), max_dt)
+        if (dt_act < min_dt).any():
+            raise ConvergenceError(
+                "adaptive ODE step shrank below the minimum allowed",
+                residual=float(dt_act.min()))
+
+        dt_col = dt_act[:, None]
+        ks: List[np.ndarray] = []
+        for stage in range(6):
+            increment = np.zeros_like(states)
+            for j, a in enumerate(_RKF_A[stage]):
+                increment = increment + a * ks[j]
+            ks.append(np.asarray(
+                rhs(t_act + _RKF_C[stage] * dt_act,
+                    states + dt_col * increment, active), dtype=float))
+
+        order4 = states + dt_col * sum(b * k for b, k in zip(_RKF_B4, ks))
+        order5 = states + dt_col * sum(b * k for b, k in zip(_RKF_B5, ks))
+        error = np.abs(order5 - order4)
+        scale = atol + rtol * np.maximum(np.abs(states), np.abs(order5))
+        error_ratio = np.max(error / scale, axis=1)
+
+        accepted = (error_ratio <= 1.0) | (dt_act <= min_dt * 2.0)
+        if accepted.any():
+            rows = active[accepted]
+            updated = order5[accepted]
+            if projection is not None:
+                updated = projection(updated)
+            t_new = t_act[accepted] + dt_act[accepted]
+            if not np.isfinite(updated).all():
+                bad = t_new[~np.isfinite(updated).all(axis=1)]
+                raise StabilityError(
+                    f"adaptive ODE state became non-finite at "
+                    f"t={float(bad[0]):.6g}")
+            states[accepted] = updated
+            t[rows] = t_new
+            slots = n_samples[rows]
+            if int(slots.max()) >= capacity:
+                capacity *= 2
+                times = np.concatenate(
+                    [times, np.empty_like(times)], axis=0)
+                storage = np.concatenate(
+                    [storage, np.empty_like(storage)], axis=0)
+            times[slots, rows] = t_new
+            storage[slots, rows] = updated
+            n_samples[rows] = slots + 1
+
+        # Standard safety-factor step-size update, element-wise.  The power
+        # is evaluated per element with scalar pow: numpy's vectorized pow
+        # kernel can differ from libm by one ulp, which would break the
+        # bit-identity of the step schedule with the scalar integrator.
+        nonzero = error_ratio != 0.0
+        factor = np.ones_like(error_ratio)
+        factor[nonzero] = [0.9 * float(ratio) ** -0.2
+                           for ratio in error_ratio[nonzero]]
+        shrunk = dt_act * np.minimum(2.0, np.maximum(0.2, factor))
+        dt[active] = np.where(nonzero, shrunk, 2.0 * dt_act)
+
+        attempts[active] += 1
+        exhausted = (attempts[active] >= max_steps) & (t[active] < t_end)
+        if exhausted.any():
+            raise ConvergenceError(
+                "adaptive ODE integration exceeded max_steps",
+                iterations=max_steps)
+
+    n_rows = int(n_samples.max())
+    times = times[:n_rows]
+    storage = storage[:n_rows]
+    _freeze_tails(times[:, :, None], n_samples, n_rows)
+    _freeze_tails(storage, n_samples, n_rows)
+    return BatchODEResult(times=times, states=storage, n_samples=n_samples,
+                          event_times=np.full(batch, np.nan),
+                          failed=np.zeros(batch, dtype=bool))

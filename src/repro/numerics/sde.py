@@ -83,8 +83,19 @@ def _simulate(drift: Drift, diffusion: Diffusion, initial: np.ndarray,
     states = np.broadcast_to(initial, (n_paths, dim)).astype(float).copy()
 
     n_steps = int(np.ceil(t_end / dt))
-    times = [0.0]
-    snapshots = [states.copy()]
+
+    # Preallocate the snapshot storage: the recording schedule is known up
+    # front, so the per-record ``states.copy()`` appends become writes into
+    # one contiguous array (same layout the delayed Langevin loop uses).
+    n_records = n_steps // record_every
+    if n_steps % record_every:
+        n_records += 1
+    times = np.empty(n_records + 1)
+    snapshots = np.empty((n_records + 1, n_paths, dim))
+    times[0] = 0.0
+    snapshots[0] = states
+    record_index = 1
+
     sqrt_dt = np.sqrt(dt)
     bump = 1e-7
 
@@ -106,10 +117,11 @@ def _simulate(drift: Drift, diffusion: Diffusion, initial: np.ndarray,
             states = projection(states)
         t += dt
         if step_index % record_every == 0 or step_index == n_steps:
-            times.append(t)
-            snapshots.append(states.copy())
+            times[record_index] = t
+            snapshots[record_index] = states
+            record_index += 1
 
-    return SDEPaths(np.asarray(times), np.asarray(snapshots))
+    return SDEPaths(times[:record_index], snapshots[:record_index])
 
 
 def euler_maruyama(drift: Drift, diffusion: Diffusion, initial: np.ndarray,

@@ -74,6 +74,12 @@ def detect_peaks(signal: np.ndarray, min_prominence: float = 0.0) -> List[int]:
     signal = np.asarray(signal, dtype=float)
     if signal.size < 3:
         return []
+    if min_prominence <= 0.0:
+        # Vectorized fast path: identical local-maximum predicate, no
+        # prominence filtering to apply.
+        interior = signal[1:-1]
+        mask = (interior > signal[:-2]) & (interior >= signal[2:])
+        return (np.nonzero(mask)[0] + 1).tolist()
     peaks: List[int] = []
     for i in range(1, signal.size - 1):
         if signal[i] > signal[i - 1] and signal[i] >= signal[i + 1]:

@@ -19,7 +19,7 @@ delay per traversed link and for the acknowledgement return path.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..exceptions import ConfigurationError
 
@@ -45,8 +45,8 @@ class NodeConfig:
 
     name: str
     service_rate: float
-    buffer_size: int = None
-    marking_threshold: float = None
+    buffer_size: Optional[int] = None
+    marking_threshold: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.name:

@@ -10,7 +10,7 @@ losses) plus the derived metrics the experiments need.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -36,8 +36,8 @@ class TimeSeriesTrace:
         # record(): the analysis helpers (time averages, resampling,
         # throughput summaries) call .times/.values repeatedly after the run
         # and used to pay a full list->array conversion on every access.
-        self._times_array: np.ndarray = None
-        self._values_array: np.ndarray = None
+        self._times_array: Optional[np.ndarray] = None
+        self._values_array: Optional[np.ndarray] = None
 
     def record(self, time: float, value: float) -> None:
         """Append a sample (times must be non-decreasing)."""
@@ -82,7 +82,8 @@ class TimeSeriesTrace:
         """Most recent value, or *default* when the trace is empty."""
         return self._values[-1] if self._values else default
 
-    def time_average(self, t_start: float = 0.0, t_end: float = None) -> float:
+    def time_average(self, t_start: float = 0.0,
+                     t_end: Optional[float] = None) -> float:
         """Time-average of the piecewise-constant series over ``[t_start, t_end]``."""
         if not self._times:
             raise AnalysisError(f"trace '{self.name}' is empty")

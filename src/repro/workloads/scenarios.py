@@ -9,7 +9,7 @@ substrates share these builders so they stay mutually consistent.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..config import SourceParameters, SystemParameters
 from ..control.jrj import JRJControl
@@ -90,8 +90,8 @@ def heterogeneous_delay_scenario(delays: Sequence[float] = (0.5, 4.0),
 
 def packet_level_jrj_scenario(n_sources: int = 2, service_rate: float = 10.0,
                               q_target: float = 10.0,
-                              feedback_delays: Sequence[float] = None,
-                              buffer_size: int = None,
+                              feedback_delays: Optional[Sequence[float]] = None,
+                              buffer_size: Optional[int] = None,
                               seed: int = 7) -> NetworkConfig:
     """Packet-level scenario with rate-based JRJ sources.
 
@@ -119,7 +119,7 @@ def packet_level_jrj_scenario(n_sources: int = 2, service_rate: float = 10.0,
 
 def packet_level_window_scenario(n_sources: int = 2, service_rate: float = 10.0,
                                  buffer_size: int = 30,
-                                 round_trip_delays: Sequence[float] = None,
+                                 round_trip_delays: Optional[Sequence[float]] = None,
                                  scheme: str = "jacobson",
                                  seed: int = 11) -> NetworkConfig:
     """Packet-level scenario with window-based sources (Jacobson or DECbit).

@@ -151,13 +151,14 @@ class TestRunCommand:
             [row.split("|")[2:] for row in second_rows]
 
     def test_cache_list_and_clear(self, capsys, tmp_path):
+        # The theorem1 matrix runs as 4 batched chunk jobs (12 grid points).
         run_args = ["run", "theorem1-grid", "--t-end", "150",
                     "--cache-dir", str(tmp_path)]
         assert main(run_args) == 0
         capsys.readouterr()
         assert main(["cache", "list", "--cache-dir", str(tmp_path)]) == 0
         listing = capsys.readouterr().out
-        assert "theorem1_point" in listing
+        assert "theorem1_batch_point" in listing
         assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
         cleared = capsys.readouterr().out
-        assert "removed 12" in cleared
+        assert "removed 4" in cleared

@@ -1,0 +1,242 @@
+"""Unit tests of the batched ODE engine (fixed and adaptive RK4)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConvergenceError, StabilityError
+from repro.numerics.interpolate import interp_columns
+from repro.numerics.ode import (
+    BatchODEResult,
+    ODEResult,
+    integrate_adaptive,
+    integrate_adaptive_batch,
+    integrate_fixed,
+    integrate_fixed_batch,
+)
+
+
+def scalar_oscillator(t, state):
+    return np.array([state[1], -np.sin(state[0]) - 0.1 * state[1]])
+
+
+def batch_oscillator(t, states, indices):
+    return np.column_stack([states[:, 1],
+                            -np.sin(states[:, 0]) - 0.1 * states[:, 1]])
+
+
+INITIALS = [[0.3, 0.0], [1.2, -0.4], [2.5, 0.7], [0.05, 1.3]]
+
+
+class TestIntegrateFixedBatch:
+    def test_bitwise_identical_to_scalar(self):
+        batch = integrate_fixed_batch(batch_oscillator, INITIALS,
+                                      t_end=10.0, dt=0.037)
+        for index, initial in enumerate(INITIALS):
+            reference = integrate_fixed(scalar_oscillator, initial,
+                                        t_end=10.0, dt=0.037)
+            member = batch.trajectory(index)
+            assert np.array_equal(reference.times, member.times)
+            assert np.array_equal(reference.states, member.states)
+
+    def test_batch_of_one_degenerate_case(self):
+        batch = integrate_fixed_batch(batch_oscillator, [INITIALS[0]],
+                                      t_end=6.0, dt=0.05)
+        reference = integrate_fixed(scalar_oscillator, INITIALS[0],
+                                    t_end=6.0, dt=0.05)
+        assert batch.batch_size == 1
+        member = batch.trajectory(0)
+        assert np.array_equal(reference.times, member.times)
+        assert np.array_equal(reference.states, member.states)
+
+    def test_single_vector_initial_treated_as_batch_of_one(self):
+        batch = integrate_fixed_batch(batch_oscillator, np.array([0.3, 0.0]),
+                                      t_end=1.0, dt=0.1)
+        assert batch.batch_size == 1
+        assert batch.dim == 2
+
+    def test_projection_applied_per_step(self):
+        def rhs(t, states, indices):
+            return np.full_like(states, -1.0)
+
+        batch = integrate_fixed_batch(rhs, [[0.5, 0.5]], t_end=2.0, dt=0.1,
+                                      projection=lambda s: np.maximum(s, 0.0))
+        assert np.all(batch.states >= 0.0)
+
+    def test_per_trajectory_events_match_scalar(self):
+        def scalar_event(t, state):
+            return state[0] - 1.0
+
+        def batch_event(t, states, indices):
+            return states[:, 0] - 1.0
+
+        batch = integrate_fixed_batch(batch_oscillator, INITIALS,
+                                      t_end=10.0, dt=0.037,
+                                      event=batch_event)
+        fired_any = False
+        for index, initial in enumerate(INITIALS):
+            reference = integrate_fixed(scalar_oscillator, initial,
+                                        t_end=10.0, dt=0.037,
+                                        event=scalar_event)
+            member = batch.trajectory(index)
+            assert np.array_equal(reference.times, member.times)
+            assert np.array_equal(reference.states, member.states)
+            assert (reference.event_time is None) == (member.event_time is None)
+            if reference.event_time is not None:
+                fired_any = True
+                assert reference.event_time == member.event_time
+        assert fired_any  # the fixture must actually exercise termination
+
+    def test_event_freezes_tail_and_truncates_storage(self):
+        def batch_event(t, states, indices):
+            return states[:, 0] - 1.0
+
+        batch = integrate_fixed_batch(batch_oscillator, INITIALS,
+                                      t_end=10.0, dt=0.037,
+                                      event=batch_event)
+        terminated = np.isfinite(batch.event_times)
+        assert terminated.any()
+        index = int(np.nonzero(terminated)[0][0])
+        last = int(batch.n_samples[index]) - 1
+        # Frozen tail: every row past the event repeats the terminal state.
+        tail = batch.states[last:, index]
+        assert np.all(tail == tail[0])
+
+    def test_per_trajectory_indices_forwarded(self):
+        rates = np.array([1.0, 2.0, 3.0])
+
+        def rhs(t, states, indices):
+            return -rates[indices][:, None] * states
+
+        def event(t, states, indices):
+            return states[:, 0] - 0.5
+
+        batch = integrate_fixed_batch(rhs, [[1.0], [1.0], [1.0]],
+                                      t_end=3.0, dt=0.01, event=event)
+        # Faster decay must terminate earlier despite compaction reindexing.
+        events = batch.event_times
+        assert events[2] < events[1] < events[0]
+
+    def test_nonfinite_raises_by_default(self):
+        def rhs(t, states, indices):
+            return states ** 3
+
+        with pytest.raises(StabilityError), np.errstate(over="ignore"):
+            integrate_fixed_batch(rhs, [[5.0], [0.0]], t_end=10.0, dt=0.5)
+
+    def test_nonfinite_mask_mode_stops_only_offender(self):
+        def rhs(t, states, indices):
+            return states ** 3
+
+        with np.errstate(over="ignore", invalid="ignore"):
+            batch = integrate_fixed_batch(rhs, [[5.0], [0.0]], t_end=10.0,
+                                          dt=0.5, on_nonfinite="mask")
+        assert bool(batch.failed[0]) is True
+        assert bool(batch.failed[1]) is False
+        assert batch.n_samples[1] == batch.times.size
+        assert np.isfinite(batch.trajectory(0).states).all()
+
+    def test_validates_inputs(self):
+        with pytest.raises(ConvergenceError):
+            integrate_fixed_batch(batch_oscillator, INITIALS, t_end=1.0,
+                                  dt=-0.1)
+        with pytest.raises(ConvergenceError):
+            integrate_fixed_batch(batch_oscillator, INITIALS, t_end=0.0,
+                                  dt=0.1)
+        with pytest.raises(ConvergenceError):
+            integrate_fixed_batch(batch_oscillator, INITIALS, t_end=1.0,
+                                  dt=0.1, on_nonfinite="explode")
+
+    def test_result_helpers(self):
+        batch = integrate_fixed_batch(batch_oscillator, INITIALS,
+                                      t_end=2.0, dt=0.1)
+        assert isinstance(batch, BatchODEResult)
+        assert batch.shared_grid
+        assert batch.batch_size == len(INITIALS)
+        assert batch.final_states.shape == (len(INITIALS), 2)
+        assert batch.component(0).shape == (batch.times.size, len(INITIALS))
+        assert np.array_equal(batch.final_times,
+                              np.full(len(INITIALS), batch.times[-1]))
+        members = batch.trajectories()
+        assert len(members) == len(INITIALS)
+        assert all(isinstance(member, ODEResult) for member in members)
+
+
+class TestIntegrateAdaptiveBatch:
+    def test_bitwise_identical_to_scalar(self):
+        batch = integrate_adaptive_batch(batch_oscillator, INITIALS,
+                                         t_end=20.0)
+        for index, initial in enumerate(INITIALS):
+            reference = integrate_adaptive(scalar_oscillator, initial,
+                                           t_end=20.0)
+            member = batch.trajectory(index)
+            assert np.array_equal(reference.times, member.times)
+            assert np.array_equal(reference.states, member.states)
+
+    def test_per_trajectory_time_grids(self):
+        batch = integrate_adaptive_batch(batch_oscillator, INITIALS,
+                                         t_end=5.0)
+        assert not batch.shared_grid
+        assert batch.times.shape == (batch.states.shape[0], len(INITIALS))
+        # Every trajectory reaches the horizon on its own grid.
+        assert np.allclose(batch.final_times, 5.0)
+
+    def test_projection_forwarded(self):
+        def rhs(t, states, indices):
+            return np.full_like(states, -1.0)
+
+        batch = integrate_adaptive_batch(rhs, [[0.2, 0.4]], t_end=2.0,
+                                         projection=lambda s: np.maximum(s, 0.0))
+        assert np.all(batch.states >= 0.0)
+
+    def test_max_steps_enforced(self):
+        with pytest.raises(ConvergenceError):
+            integrate_adaptive_batch(batch_oscillator, INITIALS, t_end=20.0,
+                                     max_steps=3)
+
+
+class TestResampleVectorized:
+    def test_matches_per_component_interp_loop(self, rng):
+        times = np.sort(rng.uniform(0.0, 10.0, 80))
+        states = rng.normal(size=(80, 3))
+        result = ODEResult(times, states)
+        query = np.concatenate([rng.uniform(-1.0, 11.0, 100), times[:5]])
+        resampled = result.resample(query)
+        for component in range(3):
+            expected = np.interp(query, times, states[:, component])
+            assert np.array_equal(resampled[:, component], expected)
+
+    def test_interp_columns_matches_np_interp_bitwise(self, rng):
+        xp = np.sort(rng.uniform(-5.0, 5.0, 64))
+        fp = rng.normal(size=(64, 4))
+        x = np.concatenate([rng.uniform(-6.0, 6.0, 500), xp,
+                            [xp[0], xp[-1], -100.0, 100.0]])
+        got = interp_columns(x, xp, fp)
+        for column in range(fp.shape[1]):
+            expected = np.interp(x, xp, fp[:, column])
+            assert np.array_equal(got[:, column], expected)
+
+    def test_resample_accepts_scalar_time(self):
+        result = ODEResult(np.array([0.0, 1.0, 2.0]),
+                           np.array([[0.0, 1.0], [1.0, 2.0], [2.0, 3.0]]))
+        resampled = result.resample(1.5)
+        assert resampled.shape == (1, 2)
+        assert np.array_equal(resampled, [[1.5, 2.5]])
+
+    def test_interp_columns_nan_query_stays_nan(self):
+        xp = np.array([0.0, 1.0, 2.0])
+        constant = np.full((3, 1), 7.0)
+        got = interp_columns(np.array([np.nan, 0.5]), xp, constant)
+        expected = np.interp(np.array([np.nan, 0.5]), xp, constant[:, 0])
+        assert np.array_equal(got[:, 0], expected, equal_nan=True)
+
+    def test_interp_columns_single_sample(self):
+        got = interp_columns(np.array([0.0, 5.0]), np.array([1.0]),
+                             np.array([[2.0, 3.0]]))
+        assert np.array_equal(got, [[2.0, 3.0], [2.0, 3.0]])
+
+    def test_interp_columns_validates(self):
+        with pytest.raises(ValueError):
+            interp_columns(np.array([0.0]), np.zeros((2, 2)), np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            interp_columns(np.array([0.0]), np.array([0.0, 1.0]),
+                           np.zeros((3, 2)))

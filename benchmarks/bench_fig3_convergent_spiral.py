@@ -25,7 +25,8 @@ def test_fig3_convergent_spiral_and_theorem1(benchmark, canonical_params):
     peak_rows = [
         {"peak #": index, "time": float(time), "queue overshoot": float(amp)}
         for index, (time, amp) in enumerate(
-            zip(analysis.peak_times[:12], analysis.peak_amplitudes[:12]))
+            zip(analysis.peak_times[:12], analysis.peak_amplitudes[:12],
+                strict=True))
     ]
     print()
     print(format_table(peak_rows,

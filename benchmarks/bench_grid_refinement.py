@@ -64,7 +64,7 @@ def test_grid_refinement_convergence(benchmark, noisy_params, jrj_control):
             "std queue": m.std_q,
             "|mean - Monte-Carlo|": abs(m.mean_q - mc_mean),
         }
-        for (nq, nv), m in zip(RESOLUTIONS, moments)
+        for (nq, nv), m in zip(RESOLUTIONS, moments, strict=True)
     ]
     print()
     print(format_table(rows, title="grid-refinement study of the FP solver "

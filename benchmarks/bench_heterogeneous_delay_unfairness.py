@@ -59,7 +59,7 @@ def test_heterogeneous_delay_unfairness(benchmark, canonical_params):
                 result.throughput_ratio_long_to_short,
             "Jain index": result.jain_index,
         }
-        for long_delay, result in zip(LONG_DELAYS, results)
+        for long_delay, result in zip(LONG_DELAYS, results, strict=True)
     ]
     print()
     print(format_table(rows,

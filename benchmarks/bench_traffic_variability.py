@@ -45,6 +45,6 @@ def test_traffic_variability_ablation(benchmark, bench_grid):
     overflows = [row["P(Q > 15)"] for row in rows]
     # Spread grows monotonically with sigma, and so does the tail mass.
     assert all(later >= earlier - 1e-9
-               for earlier, later in zip(stds, stds[1:]))
+               for earlier, later in zip(stds, stds[1:], strict=False))
     assert stds[-1] > stds[0] + 0.5
     assert overflows[-1] >= overflows[0]

@@ -104,7 +104,7 @@ def _assert_sweep_parity(scalar_sweep, batched_sweep):
     """Every grid point: bit-identical trajectory, identical verdict."""
     assert len(scalar_sweep) == len(batched_sweep)
     verdict_mismatches = 0
-    for scalar, batched in zip(scalar_sweep, batched_sweep):
+    for scalar, batched in zip(scalar_sweep, batched_sweep, strict=True):
         assert np.array_equal(scalar.trajectory.queue,
                               batched.trajectory.queue)
         assert np.array_equal(scalar.trajectory.rate, batched.trajectory.rate)

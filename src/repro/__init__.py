@@ -66,10 +66,15 @@ from .control import (
 from .core import (
     BoundaryConditions,
     DensityMoments,
+    DiscreteGenerator,
     FokkerPlanckResult,
     FokkerPlanckSolver,
     ReducedSystemSolver,
+    SparseOperator,
+    SteadyStateEstimate,
+    assemble_generator,
     compute_moments,
+    estimate_steady_state,
     marginal_q,
     marginal_v,
     tail_probability,
@@ -115,6 +120,22 @@ from .queueing import (
     build_scenario,
 )
 from .crossval import CrossValidationReport, cross_validate
+from .design import (
+    DelayShiftedControl,
+    GainGridScores,
+    GainSweepResult,
+    ObjectiveWeights,
+    OperatingPointScore,
+    RankedGain,
+    StationaryDensity,
+    StationaryEstimate,
+    compare_with_marching,
+    design_gains,
+    score_gain_grid,
+    score_operating_point,
+    solve_stationary,
+    solve_stationary_multisource,
+)
 from .stochastic import LangevinModel, compare_with_density, run_ensemble
 from .numerics import available_backends, get_backend
 from .runner import (
@@ -165,6 +186,11 @@ __all__ = [
     "marginal_q",
     "marginal_v",
     "tail_probability",
+    "SparseOperator",
+    "DiscreteGenerator",
+    "assemble_generator",
+    "SteadyStateEstimate",
+    "estimate_steady_state",
     # characteristics / Section 5
     "CharacteristicBatch",
     "CharacteristicTrajectory",
@@ -206,6 +232,21 @@ __all__ = [
     # DES-vs-FP cross-validation
     "CrossValidationReport",
     "cross_validate",
+    # gain design / stationary solves
+    "DelayShiftedControl",
+    "StationaryEstimate",
+    "StationaryDensity",
+    "solve_stationary",
+    "solve_stationary_multisource",
+    "compare_with_marching",
+    "ObjectiveWeights",
+    "OperatingPointScore",
+    "GainGridScores",
+    "score_gain_grid",
+    "score_operating_point",
+    "RankedGain",
+    "GainSweepResult",
+    "design_gains",
     # Monte-Carlo validation
     "LangevinModel",
     "run_ensemble",

@@ -8,7 +8,8 @@ report tables that the benchmark harness prints.
 """
 
 from .convergence import ConvergenceReport, assess_convergence, settling_time
-from .oscillations import OscillationMetrics, oscillation_metrics
+from .oscillations import (OscillationMetrics, OscillationMetricsBatch,
+                           oscillation_metrics, oscillation_metrics_batch)
 from .fairness import ShareTable, share_table
 from .metrics import (
     overshoot,
@@ -31,7 +32,9 @@ __all__ = [
     "assess_convergence",
     "settling_time",
     "OscillationMetrics",
+    "OscillationMetricsBatch",
     "oscillation_metrics",
+    "oscillation_metrics_batch",
     "ShareTable",
     "share_table",
     "overshoot",

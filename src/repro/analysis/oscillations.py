@@ -16,7 +16,8 @@ import numpy as np
 from ..exceptions import AnalysisError
 from ..numerics.spectral import detect_peaks, dominant_period
 
-__all__ = ["OscillationMetrics", "oscillation_metrics"]
+__all__ = ["OscillationMetrics", "OscillationMetricsBatch",
+           "oscillation_metrics", "oscillation_metrics_batch"]
 
 
 @dataclass(frozen=True)
@@ -80,3 +81,59 @@ def oscillation_metrics(times: np.ndarray, values: np.ndarray,
                               sustained=sustained,
                               mean_value=float(np.mean(window_values)),
                               n_peaks=len(peaks))
+
+
+@dataclass(frozen=True)
+class OscillationMetricsBatch:
+    """Column-wise oscillation metrics of a family of series.
+
+    Each attribute holds one value per column of the analysed block; see
+    :class:`OscillationMetrics` for their meaning.
+    """
+
+    amplitude: np.ndarray
+    period: np.ndarray
+    sustained: np.ndarray
+    mean_value: np.ndarray
+    n_peaks: np.ndarray
+
+    @property
+    def batch_size(self) -> int:
+        """Number of series in the family."""
+        return int(self.amplitude.size)
+
+    def member(self, index: int) -> OscillationMetrics:
+        """Extract one column as a scalar :class:`OscillationMetrics`."""
+        return OscillationMetrics(amplitude=float(self.amplitude[index]),
+                                  period=float(self.period[index]),
+                                  sustained=bool(self.sustained[index]),
+                                  mean_value=float(self.mean_value[index]),
+                                  n_peaks=int(self.n_peaks[index]))
+
+
+def oscillation_metrics_batch(times: np.ndarray, values: np.ndarray,
+                              steady_fraction: float = 0.5,
+                              amplitude_floor: float = 0.05
+                              ) -> OscillationMetricsBatch:
+    """Column-wise :func:`oscillation_metrics` over a ``(n, batch)`` block.
+
+    Every column is analysed by the scalar routine, so each member of the
+    result is identical to the scalar call on that column -- the parity the
+    gain-design sweeps rely on when they spot-check batch scores.
+    """
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 2 or times.shape != (values.shape[0],):
+        raise AnalysisError(
+            "oscillation_metrics_batch needs times of shape (n,) and values "
+            "of shape (n, batch)")
+    members = [oscillation_metrics(times, values[:, index],
+                                   steady_fraction=steady_fraction,
+                                   amplitude_floor=amplitude_floor)
+               for index in range(values.shape[1])]
+    return OscillationMetricsBatch(
+        amplitude=np.array([m.amplitude for m in members]),
+        period=np.array([m.period for m in members]),
+        sustained=np.array([m.sustained for m in members], dtype=bool),
+        mean_value=np.array([m.mean_value for m in members]),
+        n_peaks=np.array([m.n_peaks for m in members], dtype=int))

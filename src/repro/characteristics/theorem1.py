@@ -199,7 +199,7 @@ def verify_theorem1_batch(params: SystemParameters, q0=0.0, rate0=None,
         c0_values = columns.get("c0", np.asarray([params.c0]))
         pairs = np.broadcast_arrays(q_target_values, c0_values)
         t_end = max(_default_horizon(float(q_target), float(c0))
-                    for q_target, c0 in zip(*pairs))
+                    for q_target, c0 in zip(*pairs, strict=True))
 
     control = JRJControl(c0=params.c0, c1=params.c1, q_target=params.q_target)
     batch = integrate_characteristic_batch(control, params, q0=q0,

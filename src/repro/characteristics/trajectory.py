@@ -106,6 +106,22 @@ class CharacteristicTrajectory:
         mask = (previous != 0.0) & (previous * current < 0.0)
         return (np.nonzero(mask)[0] + 1).tolist()
 
+    def settling_time(self, tolerance: float = 0.1) -> float:
+        """Earliest time after which the queue stays near its final value.
+
+        The band is relative to the final queue with an absolute floor of
+        *tolerance* (same convention as
+        :func:`repro.core.steady_state.relaxation_time`, but non-raising:
+        the final sample is always inside its own band, so a
+        still-oscillating path simply reports a time near the horizon --
+        the behaviour gain-design scoring needs).
+        """
+        final = float(self.queue[-1])
+        band = max(tolerance * abs(final), tolerance)
+        inside = np.abs(self.queue - final) <= band
+        settled = np.logical_and.accumulate(inside[::-1])[::-1]
+        return float(self.times[int(np.argmax(settled))])
+
     def time_average_rate(self, skip_fraction: float = 0.2) -> float:
         """Time-average arrival rate over the trajectory tail.
 
@@ -227,6 +243,20 @@ class CharacteristicBatch:
         current = offsets[1:]
         mask = (previous != 0.0) & (previous * current < 0.0)
         return mask.sum(axis=0)
+
+    def settling_times(self, tolerance: float = 0.1) -> np.ndarray:
+        """Per-trajectory settling times, shape ``(batch,)``.
+
+        Vectorized over the family; agrees with
+        :meth:`CharacteristicTrajectory.settling_time` for every member
+        (frozen tail rows repeat the final state, so they are always inside
+        the band and cannot shift the earliest settled index).
+        """
+        final = self.final_queues
+        band = np.maximum(tolerance * np.abs(final), tolerance)
+        inside = np.abs(self.queue - final[None, :]) <= band[None, :]
+        settled = np.logical_and.accumulate(inside[::-1], axis=0)[::-1]
+        return self.times[np.argmax(settled, axis=0)]
 
     def time_average_rates(self, skip_fraction: float = 0.2) -> np.ndarray:
         """Per-trajectory tail-averaged throughput, shape ``(batch,)``."""

@@ -23,7 +23,14 @@ top of those, the :mod:`repro.runner` orchestration layer adds:
   :mod:`repro.queueing.scenarios` (``des-dumbbell``, ``des-parking-lot``,
   ``des-chain``, ``des-mesh``) and ``des-crossval``, the DES-vs-FP
   cross-validation grid;
-* ``repro cache {info,list,clear}`` -- inspect or empty that cache;
+* ``repro design {stationary,sweep}`` -- the gain-design toolkit: direct
+  stationary Fokker-Planck solves (``repro design stationary --sigma 0.5``,
+  with ``--check-marching`` cross-checking against the time-marched tail)
+  and coarse-to-fine gain sweeps over ``(c0, c1, q_target, mu)`` grids
+  (``repro design sweep``), printing ranked gains and the
+  oscillation-versus-relaxation Pareto front (see ``docs/design.md``);
+* ``repro cache {info,list,clear,prune}`` -- inspect, empty or age out
+  that cache (``prune --older-than DAYS`` deletes stale entries);
 * ``--jobs N``, ``--no-cache`` and ``--cache-dir PATH`` on the experiment
   sub-commands above, which route their evaluations through the same
   runner (``delay-sweep --jobs 4`` runs one worker process per delay).
@@ -42,7 +49,7 @@ from .analysis import (
     render_trajectory_portrait,
 )
 from .characteristics import verify_theorem1
-from .config import SystemParameters
+from .config import GridParameters, SystemParameters
 from .exceptions import ConfigurationError
 from .runner import JobSpec, ResultCache, print_progress, run_jobs
 from .runner.experiments import (
@@ -52,6 +59,7 @@ from .runner.experiments import (
     fairness_point,
     get_matrix,
     multihop_point,
+    stationary_point,
     theorem1_point,
 )
 
@@ -169,12 +177,69 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--t-end", type=float, default=None,
                      help="override the matrix's per-job horizon")
 
+    design = subparsers.add_parser(
+        "design", help="gain design: stationary solves and objective sweeps")
+    _add_common_parameters(design)
+    _add_runner_options(design)
+    design.add_argument("action", choices=["stationary", "sweep"],
+                        help="stationary: solve L p = 0 directly; "
+                             "sweep: rank a (c0, c1, q_target, mu) grid")
+    design.add_argument("--sigma", type=float, default=0.4,
+                        help="diffusion coefficient (default 0.4)")
+    design.add_argument("--dt", type=float, default=None,
+                        help="splitting step for the stationary solve / "
+                             "trajectory step for the sweep (default: "
+                             "auto / 0.1)")
+    design.add_argument("--method", choices=["splitting", "generator"],
+                        default="splitting",
+                        help="stationary operator: the one-step splitting "
+                             "fixed point (matches marching) or the "
+                             "continuous generator")
+    design.add_argument("--backend", default=None,
+                        help="numerics backend for the null-space solve "
+                             "(default: the configured backend)")
+    design.add_argument("--delay", type=float, default=0.0,
+                        help="feedback delay for the shifted-drift closure "
+                             "(default 0 = undelayed)")
+    design.add_argument("--nq", type=int, default=48,
+                        help="queue grid points (default 48)")
+    design.add_argument("--nv", type=int, default=36,
+                        help="growth-rate grid points (default 36)")
+    design.add_argument("--q-max", type=float, default=30.0,
+                        help="queue grid extent (default 30)")
+    design.add_argument("--v-span", type=float, default=1.2,
+                        help="growth-rate grid half-extent (default 1.2)")
+    design.add_argument("--check-marching", action="store_true",
+                        help="stationary: also time-march to --t-end and "
+                             "report the relative moment differences")
+    design.add_argument("--t-end", type=float, default=None,
+                        help="sweep trajectory horizon (default 150) / "
+                             "marching-check horizon (default 400)")
+    design.add_argument("--n-c0", type=int, default=10,
+                        help="sweep: c0 axis size (default 10)")
+    design.add_argument("--n-c1", type=int, default=10,
+                        help="sweep: c1 axis size (default 10)")
+    design.add_argument("--n-q-target", type=int, default=10,
+                        help="sweep: q_target axis size (default 10)")
+    design.add_argument("--n-mu", type=int, default=10,
+                        help="sweep: mu axis size (default 10)")
+    design.add_argument("--top-k", type=int, default=16,
+                        help="sweep: points carried into the stationary "
+                             "refinement stage (default 16)")
+    design.add_argument("--chunk-size", type=int, default=1024,
+                        help="sweep: gain points per batched-trajectory "
+                             "chunk (default 1024)")
+
     cache = subparsers.add_parser(
         "cache", help="inspect or clear the content-addressed result cache")
-    cache.add_argument("action", choices=["info", "list", "clear"],
+    cache.add_argument("action", choices=["info", "list", "clear", "prune"],
                        help="what to do with the cache")
     cache.add_argument("--cache-dir", default=None, metavar="PATH",
                        help="cache directory (default ~/.cache/repro)")
+    cache.add_argument("--older-than", type=float, default=None,
+                       metavar="DAYS",
+                       help="prune: delete entries created more than DAYS "
+                            "days ago")
 
     return parser
 
@@ -317,8 +382,120 @@ def _run_run(args: argparse.Namespace) -> int:
     return 0 if not result.failures else 1
 
 
+def _design_grid(args: argparse.Namespace) -> GridParameters:
+    return GridParameters(q_max=args.q_max, nq=args.nq, v_min=-args.v_span,
+                          v_max=args.v_span, nv=args.nv)
+
+
+def _run_design_stationary(args: argparse.Namespace,
+                           params: SystemParameters) -> int:
+    if args.check_marching:
+        # The marching cross-check needs the full density, which the
+        # compact runner result intentionally omits; compute directly.
+        from .design import compare_with_marching, solve_stationary
+        density = solve_stationary(params, grid_params=_design_grid(args),
+                                   dt=args.dt, method=args.method,
+                                   backend=args.backend, delay=args.delay)
+        estimate = density.estimate
+        summary = {
+            "mean_queue": estimate.mean_queue,
+            "std_queue": estimate.std_queue,
+            "mean_growth_rate": estimate.mean_growth_rate,
+            "std_growth_rate": estimate.std_growth_rate,
+            "residual": estimate.residual,
+            "iterations": estimate.iterations,
+            "method": estimate.method,
+            "backend": estimate.backend,
+            "dt": estimate.dt,
+        }
+        comparison = compare_with_marching(
+            density, params, grid_params=_design_grid(args),
+            t_end=args.t_end if args.t_end is not None else 400.0,
+            delay=args.delay)
+    else:
+        job = JobSpec(stationary_point, params=params, overrides={
+            "nq": args.nq, "nv": args.nv, "q_max": args.q_max,
+            "v_span": args.v_span, "dt": args.dt, "method": args.method,
+            "backend": args.backend, "delay": args.delay})
+        summary = _run_matrix([job], args).outcomes[0].value
+        comparison = None
+    print(format_key_values("stationary density", {
+        "mean queue": summary["mean_queue"],
+        "std queue": summary["std_queue"],
+        "mean growth rate": summary["mean_growth_rate"],
+        "std growth rate": summary["std_growth_rate"],
+        "residual": summary["residual"],
+        "null solve": f"{summary['backend']} ({summary['iterations']} it)",
+        "operator": summary["method"],
+        "dt": summary["dt"],
+    }))
+    if comparison is not None:
+        print()
+        print(format_key_values(
+            f"versus marching to t={comparison['t_end']:g}",
+            {f"relative d {name}": value
+             for name, value in comparison["relative"].items()}))
+    return 0
+
+
+def _run_design_sweep(args: argparse.Namespace,
+                      params: SystemParameters) -> int:
+    from .design import default_axes, design_gains
+    axes = default_axes(params, n_c0=args.n_c0, n_c1=args.n_c1,
+                        n_q_target=args.n_q_target, n_mu=args.n_mu)
+    started = time.perf_counter()
+    result = design_gains(
+        params, axes["c0_values"], axes["c1_values"],
+        axes["q_target_values"], axes["mu_values"],
+        top_k=args.top_k, chunk_size=args.chunk_size,
+        t_end=args.t_end if args.t_end is not None else 150.0,
+        dt=args.dt if args.dt is not None else 0.1,
+        backend=args.backend)
+    elapsed = time.perf_counter() - started
+
+    def _row(gain) -> dict:
+        row = {"rank": gain.rank, "c0": gain.c0, "c1": gain.c1,
+               "q_target": gain.q_target, "mu": gain.mu,
+               "score": gain.score,
+               "amplitude": gain.oscillation_amplitude,
+               "relax [t]": gain.relaxation_time}
+        if gain.refined:
+            row["stationary mean q"] = gain.stationary_mean_queue
+        return row
+
+    print(format_table([_row(gain) for gain in result.ranked],
+                       title="ranked gains (lower score is better)"))
+    print()
+    print(format_table([_row(gain) for gain in result.pareto],
+                       title="oscillation-vs-relaxation Pareto front"))
+    print(format_key_values("sweep summary", {
+        "points": result.n_points,
+        "chunks": result.chunks,
+        "refined (stationary solves)": result.n_refined,
+        "coarse horizon": result.t_end,
+        "wall clock [s]": round(elapsed, 3),
+    }))
+    return 0
+
+
+def _run_design(args: argparse.Namespace) -> int:
+    params = _system_parameters(args)
+    if args.action == "stationary":
+        return _run_design_stationary(args, params)
+    return _run_design_sweep(args, params)
+
+
 def _run_cache(args: argparse.Namespace) -> int:
     cache = ResultCache(args.cache_dir)
+    if args.action == "prune":
+        if args.older_than is None:
+            print("error: cache prune requires --older-than DAYS",
+                  file=sys.stderr)
+            return 2
+        removed = cache.prune(args.older_than * 86400.0)
+        print(f"pruned {removed} cache entries older than "
+              f"{args.older_than:g} days from {cache.root}")
+        return 0
     if args.action == "clear":
         removed = cache.clear()
         print(f"removed {removed} cache entries from {cache.root}")
@@ -351,6 +528,7 @@ _COMMANDS = {
     "fairness": _run_fairness,
     "multihop": _run_multihop,
     "run": _run_run,
+    "design": _run_design,
     "cache": _run_cache,
 }
 

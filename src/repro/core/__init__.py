@@ -31,10 +31,11 @@ from .initial import (
     gaussian_initial_density,
     uniform_initial_density,
 )
+from .generator import DiscreteGenerator, SparseOperator, assemble_generator
 from .moments import DensityMoments, compute_moments, marginal_q, marginal_v, tail_probability
 from .reduced import ReducedSystemSolver
 from .solver import FokkerPlanckSolver, FokkerPlanckResult, DensitySnapshot
-from .steady_state import estimate_steady_state, relaxation_time
+from .steady_state import SteadyStateEstimate, estimate_steady_state, relaxation_time
 
 __all__ = [
     "UpwindAdvection",
@@ -57,6 +58,10 @@ __all__ = [
     "FokkerPlanckSolver",
     "FokkerPlanckResult",
     "DensitySnapshot",
+    "SteadyStateEstimate",
     "estimate_steady_state",
     "relaxation_time",
+    "SparseOperator",
+    "DiscreteGenerator",
+    "assemble_generator",
 ]

@@ -116,7 +116,7 @@ def tail_probability(density: np.ndarray, grid: PhaseGrid2D,
 
     above = 0.0
     half = 0.5 * grid.dq
-    for center, value in zip(q_centers, q_marginal):
+    for center, value in zip(q_centers, q_marginal, strict=True):
         cell_low = center - half
         cell_high = center + half
         if cell_low >= threshold:

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..config import ParameterDictMixin
 from ..exceptions import AnalysisError
 from .moments import DensityMoments
 from .solver import FokkerPlanckResult
@@ -22,8 +23,12 @@ __all__ = ["SteadyStateEstimate", "estimate_steady_state", "relaxation_time"]
 
 
 @dataclass(frozen=True)
-class SteadyStateEstimate:
-    """Long-run operating point extracted from the tail of a FP run."""
+class SteadyStateEstimate(ParameterDictMixin):
+    """Long-run operating point extracted from the tail of a FP run.
+
+    Mixes in :class:`repro.config.ParameterDictMixin` so estimates round-trip
+    through plain dictionaries and cache cleanly through the runner.
+    """
 
     mean_queue: float
     std_queue: float

@@ -1,0 +1,308 @@
+"""Coarse-to-fine controller gain design.
+
+The tuner sweeps a grid of ``(c0, c1, q_target, mu)`` gain choices in two
+stages:
+
+1. **Coarse** — every point is scored from a batched characteristic
+   trajectory (:func:`repro.design.objectives.score_gain_grid`), processed
+   in chunks so a ≥10⁴-point grid streams through the 2-state RK4 engine
+   without large resident blocks.
+2. **Refine** — the best ``top_k`` points are re-examined with direct
+   stationary Fokker-Planck solves (:func:`repro.design.stationary
+   .solve_stationary`) when ``σ > 0``: the stationary mean queue replaces
+   the trajectory-window mean in the queue-error axis and the combined
+   score is recomputed, so the final ranking reflects the full stochastic
+   operating point rather than the noiseless characteristics.
+
+The result carries the ranked gains and the Pareto front of the
+oscillation-amplitude / relaxation-time trade-off — the DEC-TR-506 style
+design view (responsiveness versus smoothness) — and is exposed through
+``repro design sweep`` and the ``design-gain-grid`` runner matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..config import GridParameters, ParameterDictMixin, SystemParameters
+from ..exceptions import ConfigurationError, ConvergenceError
+from .objectives import (GainGridScores, ObjectiveWeights, score_gain_grid,
+                         combine_score)
+from .stationary import solve_stationary
+
+__all__ = [
+    "RankedGain",
+    "GainSweepResult",
+    "default_axes",
+    "design_gains",
+    "pareto_front_indices",
+]
+
+
+@dataclass(frozen=True)
+class RankedGain(ParameterDictMixin):
+    """One ranked gain choice from a design sweep (JSON/cache friendly).
+
+    ``stationary_mean_queue`` / ``stationary_std_queue`` are NaN unless the
+    point went through the stationary refinement stage.
+    """
+
+    rank: int
+    c0: float
+    c1: float
+    q_target: float
+    mu: float
+    score: float
+    oscillation_amplitude: float
+    oscillation_period: float
+    relaxation_time: float
+    queue_error: float
+    unfairness: float
+    stationary_mean_queue: float = float("nan")
+    stationary_std_queue: float = float("nan")
+    refined: bool = False
+
+
+@dataclass
+class GainSweepResult:
+    """Outcome of one coarse-to-fine gain sweep."""
+
+    ranked: List[RankedGain]
+    pareto: List[RankedGain]
+    n_points: int
+    n_refined: int
+    t_end: float
+    dt: float
+    weights: ObjectiveWeights
+    chunks: int = field(default=0)
+
+    @property
+    def best(self) -> RankedGain:
+        """The top-ranked gain choice."""
+        return self.ranked[0]
+
+
+def default_axes(params: SystemParameters, n_c0: int = 10, n_c1: int = 10,
+                 n_q_target: int = 10, n_mu: int = 10) -> dict:
+    """Default sweep axes bracketing the configured operating point.
+
+    Gains span a factor of four either side of the configured values
+    (geometric spacing, matching their multiplicative role); target queue
+    and service rate span moderate linear ranges.  The default sizes give
+    the 10⁴-point grid the acceptance benchmark runs.
+    """
+    return {
+        "c0_values": np.geomspace(params.c0 / 4.0, params.c0 * 4.0, n_c0),
+        "c1_values": np.geomspace(params.c1 / 4.0, params.c1 * 4.0, n_c1),
+        "q_target_values": np.linspace(max(params.q_target / 2.0, 1.0),
+                                       params.q_target * 1.5, n_q_target),
+        "mu_values": np.linspace(0.6 * params.mu, 1.4 * params.mu, n_mu),
+    }
+
+
+def pareto_front_indices(amplitude: np.ndarray, relaxation: np.ndarray
+                         ) -> np.ndarray:
+    """Indices of the non-dominated points minimising both axes.
+
+    A point is on the front when no other point has both a smaller (or
+    equal, with one strictly smaller) amplitude and relaxation time.
+    Returned in increasing-amplitude order.
+    """
+    amplitude = np.asarray(amplitude, dtype=float)
+    relaxation = np.asarray(relaxation, dtype=float)
+    order = np.lexsort((relaxation, amplitude))
+    front = []
+    best_relaxation = np.inf
+    for index in order:
+        if relaxation[index] < best_relaxation:
+            front.append(index)
+            best_relaxation = relaxation[index]
+    return np.asarray(front, dtype=int)
+
+
+def _ranked_from_scores(scores: GainGridScores, index: int, rank: int
+                        ) -> RankedGain:
+    point = scores.point(index)
+    return RankedGain(rank=rank, c0=point.c0, c1=point.c1,
+                      q_target=point.q_target, mu=point.mu,
+                      score=point.score,
+                      oscillation_amplitude=point.oscillation_amplitude,
+                      oscillation_period=point.oscillation_period,
+                      relaxation_time=point.relaxation_time,
+                      queue_error=point.queue_error,
+                      unfairness=point.unfairness)
+
+
+def _concatenate_scores(chunks: Sequence[GainGridScores]) -> GainGridScores:
+    return GainGridScores(
+        c0=np.concatenate([c.c0 for c in chunks]),
+        c1=np.concatenate([c.c1 for c in chunks]),
+        q_target=np.concatenate([c.q_target for c in chunks]),
+        mu=np.concatenate([c.mu for c in chunks]),
+        oscillation_amplitude=np.concatenate(
+            [c.oscillation_amplitude for c in chunks]),
+        oscillation_period=np.concatenate(
+            [c.oscillation_period for c in chunks]),
+        relaxation_time=np.concatenate([c.relaxation_time for c in chunks]),
+        queue_error=np.concatenate([c.queue_error for c in chunks]),
+        unfairness=np.concatenate([c.unfairness for c in chunks]),
+        score=np.concatenate([c.score for c in chunks]))
+
+
+def _refine_grid(q_target: float, spread: float = 0.0) -> GridParameters:
+    """Stationary-solve grid sized to the point's target queue.
+
+    *spread* (the coarse stage's oscillation amplitude) widens the queue
+    extent: weakly damped gains carry long density tails, and a truncated
+    domain leaks mass through the outflow boundary until no normalizable
+    stationary state exists on it.
+    """
+    return GridParameters(q_max=max(3.0 * (q_target + 2.0 * spread), 15.0),
+                          nq=48, v_min=-1.5, v_max=1.5, nv=36)
+
+
+def _widened(grid: GridParameters) -> GridParameters:
+    """Double the queue extent at the same resolution (retry grid)."""
+    return GridParameters(q_max=2.0 * grid.q_max, nq=2 * grid.nq,
+                          v_min=grid.v_min, v_max=grid.v_max, nv=grid.nv)
+
+
+def design_gains(params: SystemParameters,
+                 c0_values=None, c1_values=None, q_target_values=None,
+                 mu_values=None,
+                 *,
+                 weights: Optional[ObjectiveWeights] = None,
+                 top_k: int = 16,
+                 chunk_size: int = 1024,
+                 t_end: float = 150.0,
+                 dt: float = 0.1,
+                 refine: Optional[bool] = None,
+                 refine_grid: Optional[GridParameters] = None,
+                 refine_dt: Optional[float] = None,
+                 backend: Optional[str] = None) -> GainSweepResult:
+    """Run a coarse-to-fine gain-design sweep.
+
+    Parameters
+    ----------
+    params:
+        Base system parameters (``sigma`` drives the refinement stage; the
+        configured gains are the fairness reference deployment).
+    c0_values, c1_values, q_target_values, mu_values:
+        Axis values; the sweep covers their Cartesian product (row-major).
+        Missing axes default to :func:`default_axes`.
+    weights:
+        Objective weights (equal by default).
+    top_k:
+        Number of leading points carried into the refinement stage.
+    chunk_size:
+        Points per batched-trajectory call of the coarse stage.
+    t_end, dt:
+        Coarse-stage trajectory horizon and step.
+    refine:
+        Force the refinement stage on/off; the default refines exactly when
+        ``params.sigma > 0`` (with ``σ = 0`` the stationary density is the
+        degenerate point mass the characteristics already resolve).
+    refine_grid, refine_dt, backend:
+        Stationary-solve discretisation overrides for the refinement stage.
+
+    Raises
+    ------
+    ConfigurationError
+        On empty axes or non-positive sizes.
+    """
+    if top_k < 1:
+        raise ConfigurationError("top_k must be at least 1")
+    if chunk_size < 1:
+        raise ConfigurationError("chunk_size must be at least 1")
+    defaults = default_axes(params)
+    axes = {
+        "c0": np.asarray(c0_values if c0_values is not None
+                         else defaults["c0_values"], dtype=float),
+        "c1": np.asarray(c1_values if c1_values is not None
+                         else defaults["c1_values"], dtype=float),
+        "q_target": np.asarray(q_target_values if q_target_values is not None
+                               else defaults["q_target_values"], dtype=float),
+        "mu": np.asarray(mu_values if mu_values is not None
+                         else defaults["mu_values"], dtype=float),
+    }
+    for name, values in axes.items():
+        if values.ndim != 1 or values.size == 0:
+            raise ConfigurationError(
+                f"axis {name} must be a non-empty 1-D array")
+
+    mesh = np.meshgrid(axes["c0"], axes["c1"], axes["q_target"], axes["mu"],
+                       indexing="ij")
+    c0_flat, c1_flat, q_target_flat, mu_flat = (m.ravel() for m in mesh)
+    n_points = c0_flat.size
+    weights = weights if weights is not None else ObjectiveWeights()
+
+    chunk_scores = []
+    for start in range(0, n_points, chunk_size):
+        stop = min(start + chunk_size, n_points)
+        chunk_scores.append(score_gain_grid(
+            params, c0_flat[start:stop], c1_flat[start:stop],
+            q_target_flat[start:stop], mu_flat[start:stop],
+            weights=weights, t_end=t_end, dt=dt))
+    scores = _concatenate_scores(chunk_scores)
+
+    ranking = scores.ranking()
+    top = ranking[:min(top_k, n_points)]
+    do_refine = params.sigma > 0.0 if refine is None else bool(refine)
+
+    ranked: List[RankedGain] = []
+    n_refined = 0
+    if do_refine:
+        for index in top:
+            point = scores.point(int(index))
+            point_params = replace(params, c0=point.c0, c1=point.c1,
+                                   q_target=point.q_target, mu=point.mu)
+            grid = (refine_grid if refine_grid is not None
+                    else _refine_grid(point.q_target,
+                                      point.oscillation_amplitude))
+            try:
+                stationary = solve_stationary(point_params, grid_params=grid,
+                                              dt=refine_dt, backend=backend)
+            except ConvergenceError:
+                # Mass is probably leaking through a too-small domain;
+                # retry once on a doubled queue extent, then fall back to
+                # the coarse entry rather than abort the whole sweep.
+                try:
+                    stationary = solve_stationary(
+                        point_params, grid_params=_widened(grid),
+                        dt=refine_dt, backend=backend)
+                except ConvergenceError:
+                    ranked.append(_ranked_from_scores(scores, int(index), 0))
+                    continue
+            n_refined += 1
+            queue_error = abs(stationary.moments.mean_q - point.q_target)
+            q_scale = max(point.q_target, 1.0)
+            score = float(combine_score(
+                weights, point.oscillation_amplitude, point.relaxation_time,
+                queue_error, point.unfairness, q_scale, t_end))
+            ranked.append(RankedGain(
+                rank=0, c0=point.c0, c1=point.c1, q_target=point.q_target,
+                mu=point.mu, score=score,
+                oscillation_amplitude=point.oscillation_amplitude,
+                oscillation_period=point.oscillation_period,
+                relaxation_time=point.relaxation_time,
+                queue_error=queue_error, unfairness=point.unfairness,
+                stationary_mean_queue=stationary.moments.mean_q,
+                stationary_std_queue=stationary.moments.std_q,
+                refined=True))
+        ranked.sort(key=lambda gain: gain.score)
+        ranked = [replace(gain, rank=position)
+                  for position, gain in enumerate(ranked)]
+    else:
+        ranked = [_ranked_from_scores(scores, int(index), position)
+                  for position, index in enumerate(top)]
+
+    front = [_ranked_from_scores(scores, int(index), position)
+             for position, index in enumerate(pareto_front_indices(
+                 scores.oscillation_amplitude, scores.relaxation_time))]
+
+    return GainSweepResult(ranked=ranked, pareto=front, n_points=n_points,
+                           n_refined=n_refined, t_end=t_end, dt=dt,
+                           weights=weights, chunks=len(chunk_scores))

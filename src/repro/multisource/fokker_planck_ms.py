@@ -54,7 +54,8 @@ class AggregateControl(RateControl):
         self.total_increase = float(sum(source.c0 for source in sources))
         shares = predicted_equilibrium_shares(sources)
         self.effective_decrease = float(
-            sum(source.c1 * share for source, share in zip(sources, shares)))
+            sum(source.c1 * share
+                for source, share in zip(sources, shares, strict=True)))
         self.shares = shares
 
     def drift(self, queue_length, rate):

@@ -62,12 +62,41 @@ def scipy_available() -> bool:
     return True
 
 
+def _coo_matvec(rows: np.ndarray, cols: np.ndarray, values: np.ndarray,
+                n: int, vector: np.ndarray) -> np.ndarray:
+    """``M @ vector`` for a COO matrix, without scipy."""
+    return np.bincount(rows, weights=values * vector[cols], minlength=n)
+
+
+def _normalize_null_vector(vector: np.ndarray, weights: np.ndarray
+                           ) -> np.ndarray:
+    """Orient, clamp and mass-normalise a raw null-vector iterate.
+
+    A stationary density is non-negative with unit mass ``weights · p = 1``;
+    the raw algebraic null vector is defined only up to scale and may carry
+    rounding-level negative cells.  The clamp removes those before the final
+    normalisation.
+    """
+    total = float(weights @ vector)
+    if total < 0.0:
+        vector = -vector
+        total = -total
+    vector = np.maximum(vector, 0.0)
+    total = float(weights @ vector)
+    if not total > 0.0:
+        raise ConvergenceError(
+            "null-vector solve produced a non-positive density")
+    return vector / total
+
+
 class NumericsBackend:
     """Base class for kernel backends.
 
-    A backend supplies factorized tridiagonal solvers; everything else in
-    the PDE pipeline is backend-independent numpy.  Subclasses must set
-    :attr:`name` and implement :meth:`factorize_tridiagonal`.
+    A backend supplies factorized tridiagonal solvers and a sparse
+    stationary null-vector solve; everything else in the PDE pipeline is
+    backend-independent numpy.  Subclasses must set :attr:`name` and
+    implement :meth:`factorize_tridiagonal`; the null-vector solve is
+    optional (the design subsystem checks for it).
     """
 
     #: Registry name of the backend.
@@ -87,17 +116,105 @@ class NumericsBackend:
         """One-shot tridiagonal solve (factorize then solve)."""
         return self.factorize_tridiagonal(lower, diag, upper).solve(rhs)
 
+    def stationary_null_vector(self, rows: np.ndarray, cols: np.ndarray,
+                               values: np.ndarray, n: int,
+                               guess: Optional[np.ndarray] = None,
+                               weights: Optional[np.ndarray] = None,
+                               tol: float = 1e-9,
+                               max_iterations: int = 50):
+        """Solve ``M p = 0`` for the mass-normalised stationary vector.
+
+        Parameters
+        ----------
+        rows, cols, values, n:
+            The matrix in COO triplet form.  The operators assembled by
+            :func:`repro.core.generator.assemble_generator` have (near-)
+            dependent rows -- probability conservation makes the column
+            sums vanish wherever the density lives -- so the null space is
+            one-dimensional up to boundary outflow at rounding level.
+        guess:
+            Optional seed vector (a coarse steady-state estimate); used to
+            pick the pivot row of the dense reference solve and to start
+            the sparse inverse iteration.
+        weights:
+            Quadrature weights defining the mass normalisation
+            ``weights · p = 1`` (defaults to uniform).
+        tol:
+            Relative residual target ``max|M p| / (max|M| · max|p|)``.
+        max_iterations:
+            Iteration cap for iterative methods.
+
+        Returns
+        -------
+        (p, info):
+            The non-negative, mass-normalised stationary vector and a
+            dictionary with ``residual``, ``iterations`` and ``method``.
+
+        Raises
+        ------
+        ConvergenceError
+            When the residual target cannot be met.
+        """
+        raise NotImplementedError(
+            f"backend {self.name!r} does not implement a stationary "
+            f"null-vector solve")
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} name={self.name!r}>"
 
 
 class NumpyBackend(NumericsBackend):
-    """Reference backend: pure-numpy Thomas algorithm."""
+    """Reference backend: pure-numpy Thomas algorithm and dense null solve."""
 
     name = "numpy"
 
     def factorize_tridiagonal(self, lower, diag, upper):
         return TridiagonalFactorization(lower, diag, upper)
+
+    def stationary_null_vector(self, rows, cols, values, n,
+                               guess=None, weights=None,
+                               tol=1e-9, max_iterations=50):
+        """Dense reference null-space solve by row replacement.
+
+        The matrix rows are linearly dependent (mass conservation), so one
+        row -- the one where the seed density is largest, i.e. well inside
+        the support -- is replaced by the mass-normalisation row and the
+        system solved directly.  One step of iterative refinement sharpens
+        the result; intended for moderate grids (the dense LU is O(n³)).
+        """
+        rows = np.asarray(rows, dtype=np.intp)
+        cols = np.asarray(cols, dtype=np.intp)
+        values = np.asarray(values, dtype=float)
+        weights = (np.ones(n) if weights is None
+                   else np.asarray(weights, dtype=float))
+        pivot = 0 if guess is None else int(np.argmax(np.asarray(guess)))
+
+        dense = np.zeros((n, n))
+        np.add.at(dense, (rows, cols), values)
+        scale = float(np.max(np.abs(values))) if values.size else 1.0
+        replaced = dense.copy()
+        replaced[pivot, :] = weights
+        rhs = np.zeros(n)
+        rhs[pivot] = 1.0
+        try:
+            solution = np.linalg.solve(replaced, rhs)
+            # One iterative-refinement pass against the replaced system.
+            residual_vector = rhs - replaced @ solution
+            solution = solution + np.linalg.solve(replaced, residual_vector)
+        except np.linalg.LinAlgError as error:
+            raise ConvergenceError(
+                f"dense stationary solve failed: {error}") from error
+
+        solution = _normalize_null_vector(solution, weights)
+        residual = float(np.max(np.abs(_coo_matvec(rows, cols, values, n,
+                                                   solution))))
+        relative = residual / (scale * float(np.max(np.abs(solution))))
+        if relative > tol:
+            raise ConvergenceError(
+                f"dense stationary solve residual {relative:.3e} exceeds "
+                f"tol {tol:.3e}", iterations=1, residual=relative)
+        return solution, {"residual": relative, "iterations": 1,
+                          "method": "dense-row-replacement"}
 
 
 class _ScipyGttrfFactorization:
@@ -194,6 +311,85 @@ class ScipyBackend(NumericsBackend):
 
     def is_available(self) -> bool:
         return scipy_available()
+
+    def stationary_null_vector(self, rows, cols, values, n,
+                               guess=None, weights=None,
+                               tol=1e-9, max_iterations=50):
+        """Sparse shifted-inverse-iteration null solve via ``splu``.
+
+        The matrix is factorized once with a tiny diagonal shift (so the LU
+        of the numerically singular operator stays well-posed) and the seed
+        vector is driven into the null space by repeated solves; each
+        iteration multiplies the unwanted spectral components by
+        ``shift / |λ|``, so convergence is typically 2-3 iterations.  Falls
+        back to a row-replacement ``spsolve`` when the iteration stalls.
+        """
+        if not self.is_available():  # pragma: no cover - env dependent
+            raise ConfigurationError(
+                "the 'scipy' backend was requested but scipy is not installed")
+        from scipy.sparse import csc_matrix, identity
+        from scipy.sparse.linalg import splu, spsolve
+
+        rows = np.asarray(rows, dtype=np.intp)
+        cols = np.asarray(cols, dtype=np.intp)
+        values = np.asarray(values, dtype=float)
+        weights = (np.ones(n) if weights is None
+                   else np.asarray(weights, dtype=float))
+        matrix = csc_matrix((values, (rows, cols)), shape=(n, n))
+        scale = float(np.max(np.abs(values))) if values.size else 1.0
+
+        if guess is None:
+            vector = np.ones(n)
+        else:
+            vector = np.asarray(guess, dtype=float).ravel().copy()
+            if float(np.max(np.abs(vector))) == 0.0:
+                vector = np.ones(n)
+
+        shift = 1e-12 * scale
+        iterations = 0
+        best = None
+        best_residual = np.inf
+        try:
+            factor = splu(matrix - shift * identity(n, format="csc"))
+            for iterations in range(1, max_iterations + 1):
+                vector = factor.solve(vector)
+                peak = float(np.max(np.abs(vector)))
+                if not np.isfinite(peak) or peak == 0.0:
+                    break
+                vector /= peak
+                relative = float(np.max(np.abs(matrix @ vector))) / scale
+                if relative < best_residual:
+                    best_residual = relative
+                    best = vector.copy()
+                if relative <= tol:
+                    break
+        except RuntimeError:
+            # Exactly singular factorization: fall through to row replacement.
+            best = None
+
+        if best is not None and best_residual <= tol:
+            solution = _normalize_null_vector(best, weights)
+            return solution, {"residual": best_residual,
+                              "iterations": iterations,
+                              "method": "sparse-inverse-iteration"}
+
+        # Fallback: replace the pivot row by the mass row and solve directly.
+        pivot = 0 if guess is None else int(np.argmax(np.asarray(guess)))
+        lil = matrix.tolil()
+        lil[pivot, :] = weights
+        rhs = np.zeros(n)
+        rhs[pivot] = 1.0
+        solution = spsolve(lil.tocsc(), rhs)
+        solution = _normalize_null_vector(np.asarray(solution), weights)
+        relative = (float(np.max(np.abs(matrix @ solution)))
+                    / (scale * float(np.max(np.abs(solution)))))
+        if relative > tol:
+            raise ConvergenceError(
+                f"sparse stationary solve residual {relative:.3e} exceeds "
+                f"tol {tol:.3e}", iterations=iterations, residual=relative)
+        return solution, {"residual": relative,
+                          "iterations": iterations,
+                          "method": "sparse-row-replacement"}
 
     def factorize_tridiagonal(self, lower, diag, upper):
         if not self.is_available():  # pragma: no cover - env dependent

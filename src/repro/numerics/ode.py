@@ -434,8 +434,10 @@ def integrate_adaptive(rhs: RHS, initial_state: Sequence[float], t_end: float,
             ks.append(np.asarray(
                 rhs(t + _RKF_C[stage] * dt, state + dt * increment), dtype=float))
 
-        order4 = state + dt * sum(b * k for b, k in zip(_RKF_B4, ks))
-        order5 = state + dt * sum(b * k for b, k in zip(_RKF_B5, ks))
+        order4 = state + dt * sum(
+            b * k for b, k in zip(_RKF_B4, ks, strict=True))
+        order5 = state + dt * sum(
+            b * k for b, k in zip(_RKF_B5, ks, strict=True))
         error = np.abs(order5 - order4)
         scale = atol + rtol * np.maximum(np.abs(state), np.abs(order5))
         error_ratio = float(np.max(error / scale))
@@ -526,8 +528,10 @@ def integrate_adaptive_batch(rhs: BatchRHS,
                 rhs(t_act + _RKF_C[stage] * dt_act,
                     states + dt_col * increment, active), dtype=float))
 
-        order4 = states + dt_col * sum(b * k for b, k in zip(_RKF_B4, ks))
-        order5 = states + dt_col * sum(b * k for b, k in zip(_RKF_B5, ks))
+        order4 = states + dt_col * sum(
+            b * k for b, k in zip(_RKF_B4, ks, strict=True))
+        order5 = states + dt_col * sum(
+            b * k for b, k in zip(_RKF_B5, ks, strict=True))
         error = np.abs(order5 - order4)
         scale = atol + rtol * np.maximum(np.abs(states), np.abs(order5))
         error_ratio = np.max(error / scale, axis=1)

@@ -27,7 +27,7 @@ def bisect(func: Callable[[float], float], lower: float, upper: float,
             "bisection requires a sign change over the bracket "
             f"[{lower}, {upper}]")
 
-    for iteration in range(max_iterations):
+    for _ in range(max_iterations):
         midpoint = 0.5 * (lower + upper)
         f_mid = func(midpoint)
         if f_mid == 0.0 or (upper - lower) < tolerance:

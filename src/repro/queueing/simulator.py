@@ -214,7 +214,8 @@ class Simulator:
         if duration <= 0.0:
             raise ConfigurationError("duration must be positive")
         self.trace.queue_length.record(0.0, 0.0)
-        for source, source_config in zip(self._sources, self.config.sources):
+        for source, source_config in zip(self._sources, self.config.sources,
+                                         strict=True):
             source.start(at_time=source_config.start_time)
         executed = self.events.run_until(duration)
 

@@ -262,3 +262,26 @@ class ResultCache:
             shutil.rmtree(entry, ignore_errors=True)
             removed += 1
         return removed
+
+    def prune(self, older_than_seconds: float, *,
+              now: Optional[float] = None) -> int:
+        """Delete entries created more than *older_than_seconds* ago.
+
+        Entries whose metadata is unreadable are pruned as well -- they
+        would read as misses anyway.  Returns the number of entries
+        removed.  *now* overrides the current time (for tests).
+        """
+        cutoff = (time.time() if now is None else float(now)) \
+            - float(older_than_seconds)
+        removed = 0
+        for entry in list(self._iter_entry_dirs()):
+            try:
+                with open(entry / _META_NAME, "r",
+                          encoding="utf-8") as handle:
+                    created = float(json.load(handle).get("created", 0.0))
+            except Exception:
+                created = float("-inf")
+            if created < cutoff:
+                shutil.rmtree(entry, ignore_errors=True)
+                removed += 1
+        return removed

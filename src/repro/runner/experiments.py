@@ -19,6 +19,7 @@ from ..config import GridParameters, SystemParameters, TimeParameters
 from ..control.jrj import jrj_from_parameters
 from ..crossval import cross_validate
 from ..delay.delayed_model import DelayedSystem
+from ..design import default_axes, score_gain_grid, solve_stationary
 from ..delay.oscillation import measure_oscillation
 from ..exceptions import ConfigurationError
 from ..multisource import MultiSourceModel, fairness_report
@@ -43,6 +44,8 @@ __all__ = [
     "packet_point",
     "des_scenario_point",
     "crossval_point",
+    "stationary_point",
+    "design_chunk_point",
     "MatrixDefinition",
     "available_matrices",
     "get_matrix",
@@ -109,7 +112,7 @@ def theorem1_batch_point(params: SystemParameters,
         }
         # The columns arrays are the authoritative point ordering.
         for c0, c1, verification in zip(columns["c0"], columns["c1"],
-                                        verifications)
+                                        verifications, strict=True)
     ]
     return {
         "n_points": len(points),
@@ -271,6 +274,79 @@ def des_scenario_point(scenario: str, duration: float = 120.0,
     }
 
 
+def stationary_point(params: SystemParameters, nq: int = 48, nv: int = 36,
+                     q_max: float = 30.0, v_span: float = 1.2,
+                     dt: Optional[float] = None, method: str = "splitting",
+                     backend: Optional[str] = None,
+                     delay: float = 0.0) -> dict:
+    """Solve the stationary Fokker-Planck density directly; report moments."""
+    grid = GridParameters(q_max=q_max, nq=nq, v_min=-v_span, v_max=v_span,
+                          nv=nv)
+    density = solve_stationary(params, grid_params=grid, dt=dt, method=method,
+                               backend=backend, delay=delay)
+    estimate = density.estimate
+    return {
+        "mean_queue": float(estimate.mean_queue),
+        "std_queue": float(estimate.std_queue),
+        "mean_growth_rate": float(estimate.mean_growth_rate),
+        "std_growth_rate": float(estimate.std_growth_rate),
+        "residual": float(estimate.residual),
+        "iterations": int(estimate.iterations),
+        "method": str(estimate.method),
+        "backend": str(estimate.backend),
+        "dt": float(estimate.dt),
+    }
+
+
+def design_chunk_point(params: SystemParameters,
+                       c0_values: Optional[List[float]] = None,
+                       c1_values: Optional[List[float]] = None,
+                       q_target: Optional[float] = None,
+                       mu: Optional[float] = None,
+                       t_end: float = 150.0, dt: float = 0.1,
+                       top_k: int = 5) -> dict:
+    """Score one ``c0 × c1`` gain chunk at a fixed ``(q_target, mu)`` point.
+
+    The chunk's cross product is expanded row-major (``c0`` slowest, the
+    :func:`~repro.runner.grid.expand_grid` order) and scored as one batched
+    characteristic run through
+    :func:`~repro.design.objectives.score_gain_grid`; the ``design-gain-grid``
+    matrix fans one job per ``(q_target, mu)`` pair.
+    """
+    c0_list = [params.c0] if c0_values is None else [float(v)
+                                                    for v in c0_values]
+    c1_list = [params.c1] if c1_values is None else [float(v)
+                                                    for v in c1_values]
+    target = params.q_target if q_target is None else float(q_target)
+    service = params.mu if mu is None else float(mu)
+    c0 = np.repeat(c0_list, len(c1_list))
+    c1 = np.tile(c1_list, len(c0_list))
+    scores = score_gain_grid(params, c0, c1,
+                             np.full(c0.size, target),
+                             np.full(c0.size, service),
+                             t_end=t_end, dt=dt)
+    ranking = scores.ranking()[:max(int(top_k), 1)]
+    top = [scores.point(int(index)) for index in ranking]
+    return {
+        "n_points": int(scores.size),
+        "q_target": float(target),
+        "mu": float(service),
+        "best_score": float(top[0].score),
+        "top": [
+            {
+                "c0": point.c0,
+                "c1": point.c1,
+                "score": point.score,
+                "oscillation_amplitude": point.oscillation_amplitude,
+                "relaxation_time": point.relaxation_time,
+                "queue_error": point.queue_error,
+                "unfairness": point.unfairness,
+            }
+            for point in top
+        ],
+    }
+
+
 def crossval_point(params: SystemParameters, n_sources: int = 1,
                    duration: float = 2000.0, t_end: float = 150.0,
                    nq: int = 100, nv: int = 70,
@@ -383,6 +459,27 @@ def _des_mesh_grid(params: SystemParameters, seed: Optional[int],
         master_seed=seed)
 
 
+def _design_gain_grid(params: SystemParameters, seed: Optional[int],
+                      t_end: Optional[float]) -> List[JobSpec]:
+    # One batched job per (q_target, mu) operating point; each job scores
+    # its whole c0 x c1 gain chunk in a single vectorized characteristic
+    # run.  Override values are tuples so the frozen JobSpec stays hashable.
+    axes = default_axes(params, n_c0=10, n_c1=10, n_q_target=4, n_mu=4)
+    c0_values = tuple(float(value) for value in axes["c0_values"])
+    c1_values = tuple(float(value) for value in axes["c1_values"])
+    horizon = t_end if t_end is not None else 150.0
+    return [
+        JobSpec(design_chunk_point, params=params,
+                overrides={"c0_values": c0_values, "c1_values": c1_values,
+                           "q_target": float(q_target), "mu": float(mu),
+                           "t_end": horizon},
+                label=(f"q_target={q_target:g}, mu={mu:g} "
+                       f"({len(c0_values) * len(c1_values)} gains, batched)"))
+        for q_target in axes["q_target_values"]
+        for mu in axes["mu_values"]
+    ]
+
+
 def _des_crossval_grid(params: SystemParameters, seed: Optional[int],
                        t_end: Optional[float]) -> List[JobSpec]:
     return build_matrix(
@@ -431,6 +528,10 @@ _MATRICES: Dict[str, MatrixDefinition] = {
         "des-crossval",
         "DES-vs-FP agreement over sigma x n_sources (4 jobs, seeded)",
         _des_crossval_grid),
+    "design-gain-grid": MatrixDefinition(
+        "design-gain-grid",
+        "gain-design scores over q_target x mu (16 batched jobs, 1600 points)",
+        _design_gain_grid),
 }
 
 

@@ -43,7 +43,7 @@ def expand_grid(axes: Mapping[str, Sequence[Any]]) -> List[Dict[str, Any]]:
         if not values:
             raise ConfigurationError(f"grid axis {name!r} has no values")
         value_lists.append(values)
-    return [dict(zip(names, combination))
+    return [dict(zip(names, combination, strict=True))
             for combination in itertools.product(*value_lists)]
 
 

@@ -157,12 +157,12 @@ def run_ensemble(control: RateControl, params: SystemParameters, q0: float,
             futures = [pool.submit(_simulate_shard, control, params, q0,
                                    rate0, t_end, dt, size, feedback_delay,
                                    shard_seed)
-                       for size, shard_seed in zip(sizes, seeds)]
+                       for size, shard_seed in zip(sizes, seeds, strict=True)]
             shards = [future.result() for future in futures]
     else:
         shards = [_simulate_shard(control, params, q0, rate0, t_end, dt,
                                   size, feedback_delay, shard_seed)
-                  for size, shard_seed in zip(sizes, seeds)]
+                  for size, shard_seed in zip(sizes, seeds, strict=True)]
 
     # Shards are concatenated in shard-index order (never completion order),
     # which is what makes the result independent of scheduling.

@@ -43,7 +43,7 @@ class ParameterSweep:
     def rows(self, extractor: Callable[[object], dict]) -> List[dict]:
         """Build table rows by applying *extractor* to each result."""
         rows = []
-        for value, result in zip(self.values, self.results):
+        for value, result in zip(self.values, self.results, strict=True):
             row = {self.parameter_name: value}
             row.update(extractor(result))
             rows.append(row)
@@ -80,7 +80,7 @@ class GridSweep:
     def rows(self, extractor: Callable[[object], dict]) -> List[dict]:
         """Build table rows: grid-point coordinates plus extracted metrics."""
         rows = []
-        for point, result in zip(self.points, self.results):
+        for point, result in zip(self.points, self.results, strict=True):
             row = dict(point)
             row.update(extractor(result))
             rows.append(row)

@@ -1,5 +1,6 @@
 """Unit tests for the parameter dataclasses in repro.config."""
 
+import dataclasses
 import json
 
 import pytest
@@ -66,7 +67,7 @@ class TestSystemParameters:
 
     def test_frozen(self):
         params = SystemParameters()
-        with pytest.raises(Exception):
+        with pytest.raises(dataclasses.FrozenInstanceError):
             params.mu = 3.0
 
 

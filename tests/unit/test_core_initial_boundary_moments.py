@@ -122,4 +122,4 @@ class TestMoments:
         density = grid.gaussian_density(10.0, 0.0, 2.0, 0.3)
         thresholds = [2.0, 6.0, 10.0, 14.0, 18.0]
         probabilities = [tail_probability(density, grid, b) for b in thresholds]
-        assert all(p1 >= p2 for p1, p2 in zip(probabilities, probabilities[1:]))
+        assert all(p1 >= p2 for p1, p2 in zip(probabilities, probabilities[1:], strict=False))

@@ -1,0 +1,423 @@
+"""Unit tests for the gain-design subsystem (:mod:`repro.design`).
+
+Covers the assembled discrete operators against the marching kernels, the
+backend null-space solves, the objective scoring (scalar versus batched
+parity), the coarse-to-fine tuner, the delayed-drift closure, the runner
+matrix, cache pruning and the CLI surface.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.oscillations import (oscillation_metrics,
+                                         oscillation_metrics_batch)
+from repro.characteristics import (integrate_characteristic,
+                                   integrate_characteristic_batch)
+from repro.config import GridParameters, SystemParameters
+from repro.control.jrj import JRJControl, jrj_from_parameters
+from repro.core.generator import assemble_generator
+from repro.core.initial import gaussian_initial_density
+from repro.core.advection import upwind_advect_q, upwind_advect_v
+from repro.core.diffusion import crank_nicolson_diffuse_q
+from repro.core.steady_state import SteadyStateEstimate
+from repro.design import (
+    DelayShiftedControl,
+    ObjectiveWeights,
+    RankedGain,
+    StationaryEstimate,
+    default_axes,
+    deployment_unfairness,
+    design_gains,
+    pareto_front_indices,
+    score_gain_grid,
+    score_operating_point,
+    solve_stationary,
+)
+from repro.exceptions import ConfigurationError
+from repro.multisource.fairness import (jain_fairness_index,
+                                        predicted_equilibrium_shares)
+from repro.numerics import available_backends
+from repro.runner.cache import ResultCache
+from repro.runner.experiments import design_chunk_point, get_matrix
+
+GRID = GridParameters(q_max=30.0, nq=48, v_min=-1.2, v_max=1.2, nv=36)
+PARAMS = SystemParameters(mu=1.0, q_target=8.0, c0=0.1, c1=0.4, sigma=0.5)
+
+
+def _approx_equal_scores(scalar, batch_point) -> None:
+    """Field-wise equality that treats NaN == NaN (oscillation period)."""
+    for name in ("c0", "c1", "q_target", "mu", "oscillation_amplitude",
+                 "oscillation_period", "relaxation_time", "queue_error",
+                 "unfairness", "score"):
+        a, b = getattr(scalar, name), getattr(batch_point, name)
+        if math.isnan(a) and math.isnan(b):
+            continue
+        assert a == b, name
+
+
+class TestGeneratorKernelParity:
+    """The assembled operators reproduce the marching kernels exactly."""
+
+    def setup_method(self):
+        self.generator = assemble_generator(PARAMS, grid_params=GRID)
+        self.grid = self.generator.grid
+        self.density = gaussian_initial_density(
+            self.grid, q0=PARAMS.q_target, v0=0.0, q_std=2.0, v_std=0.2)
+        self.flat = self.density.ravel()
+
+    def test_q_advection_matches_kernel(self):
+        dt = 0.05
+        stepped = upwind_advect_q(self.density, self.grid, dt)
+        via_operator = self.flat + dt * self.generator.advection_q().matvec(
+            self.flat)
+        np.testing.assert_allclose(via_operator,
+                                   stepped.ravel(), rtol=0, atol=1e-14)
+
+    def test_v_advection_matches_kernel(self):
+        dt = 0.05
+        stepped = upwind_advect_v(self.density, self.grid,
+                                  self.generator.drift, dt)
+        via_operator = self.flat + dt * self.generator.advection_v().matvec(
+            self.flat)
+        np.testing.assert_allclose(via_operator,
+                                   stepped.ravel(), rtol=0, atol=1e-14)
+
+    def test_splitting_matrix_annihilates_split_fixed_point(self):
+        # One full split step applied through the kernels; the splitting
+        # matrix must vanish exactly on any density the step leaves fixed,
+        # and more generally S p = (I - r Ltilde)(step(p) - p) up to
+        # round-off.  Verify the latter identity on a generic density.
+        dt = 0.05
+        advected = upwind_advect_v(
+            upwind_advect_q(self.density, self.grid, dt),
+            self.grid, self.generator.drift, dt)
+        stepped = crank_nicolson_diffuse_q(advected, self.grid,
+                                           PARAMS.sigma, dt)
+        r_number = self.generator.diffusion_number(dt)
+        # S p = (I + r Ltilde) A p - (I - r Ltilde) p, and the step is
+        # stepped = (I - r Ltilde)^{-1} (I + r Ltilde) A p, so
+        # S p = (I - r Ltilde)(stepped - p).  Recover the Ltilde action
+        # from diffusion() = (sigma^2/2)/dq^2 * Ltilde.
+        operator = self.generator.splitting_matrix(dt)
+        left = operator.matvec(self.flat)
+        difference = stepped.ravel() - self.flat
+        diffusion = self.generator.diffusion()
+        scale = (PARAMS.sigma ** 2 / 2.0) / self.grid.dq ** 2
+        ltilde_diff = diffusion.matvec(difference) / scale
+        right = difference - r_number * ltilde_diff
+        np.testing.assert_allclose(left, right, rtol=0, atol=1e-13)
+
+    def test_generator_rows_conserve_mass(self):
+        # Columns of L sum to zero wherever no mass leaves the domain; the
+        # q_max outflow for nu > 0 is the only leak.  Check total mass
+        # change of the continuous generator acting on a density supported
+        # away from the outflow boundary equals zero to round-off.
+        derivative = self.generator.generator().matvec(self.flat)
+        assert abs(derivative.sum() * self.grid.cell_area) < 1e-12
+
+    def test_splitting_matrix_rejects_bad_dt(self):
+        with pytest.raises(ConfigurationError):
+            self.generator.splitting_matrix(0.0)
+        with pytest.raises(ConfigurationError):
+            self.generator.splitting_matrix(1e6)
+
+
+class TestStationaryBackends:
+    def test_numpy_and_scipy_agree(self):
+        backends = available_backends()
+        if "scipy" not in backends:
+            pytest.skip("scipy backend unavailable")
+        dense = solve_stationary(PARAMS, grid_params=GRID, dt=0.05,
+                                 backend="numpy")
+        sparse = solve_stationary(PARAMS, grid_params=GRID, dt=0.05,
+                                  backend="scipy")
+        np.testing.assert_allclose(sparse.density, dense.density,
+                                   rtol=0, atol=1e-8)
+        assert sparse.estimate.mean_queue == pytest.approx(
+            dense.estimate.mean_queue, rel=1e-9)
+
+    def test_generator_method_is_order_dt_from_splitting(self):
+        split = solve_stationary(PARAMS, grid_params=GRID, dt=0.05)
+        continuous = solve_stationary(PARAMS, grid_params=GRID, dt=0.05,
+                                      method="generator")
+        difference = abs(continuous.estimate.mean_queue
+                         - split.estimate.mean_queue)
+        assert 0.0 < difference < 0.1
+        assert continuous.estimate.method == "generator"
+
+    def test_density_is_normalised_and_nonnegative(self):
+        density = solve_stationary(PARAMS, grid_params=GRID, dt=0.05)
+        assert density.density.min() >= 0.0
+        assert density.grid.total_mass(density.density) == pytest.approx(
+            1.0, rel=1e-12)
+
+    def test_estimate_round_trips_through_dict(self):
+        estimate = solve_stationary(PARAMS, grid_params=GRID,
+                                    dt=0.05).estimate
+        assert StationaryEstimate.from_dict(estimate.to_dict()) == estimate
+
+    def test_steady_state_estimate_round_trips(self):
+        estimate = SteadyStateEstimate(mean_queue=6.4, std_queue=2.3,
+                                       mean_growth_rate=0.0,
+                                       tail_fraction=0.25,
+                                       n_snapshots_used=10)
+        assert SteadyStateEstimate.from_dict(estimate.to_dict()) == estimate
+
+
+class TestDelayShiftedControl:
+    def test_zero_delay_is_identity(self):
+        inner = jrj_from_parameters(PARAMS)
+        shifted = DelayShiftedControl(inner, 0.0, PARAMS.mu)
+        queue = np.linspace(0.0, 20.0, 7)
+        rate = np.linspace(0.2, 1.8, 7)
+        np.testing.assert_array_equal(shifted.drift(queue, rate),
+                                      inner.drift(queue, rate))
+
+    def test_shift_clamps_at_empty_queue(self):
+        inner = JRJControl(c0=0.1, c1=0.4, q_target=8.0)
+        shifted = DelayShiftedControl(inner, 4.0, 1.0)
+        # rate far above mu shifts the effective queue to zero, where the
+        # JRJ law always increases.
+        assert shifted.drift(1.0, 2.0) == inner.drift(0.0, 2.0)
+
+    def test_positive_delay_changes_stationary_density(self):
+        plain = solve_stationary(PARAMS, grid_params=GRID, dt=0.05)
+        delayed = solve_stationary(PARAMS, grid_params=GRID, dt=0.05,
+                                   delay=2.0)
+        assert abs(delayed.estimate.mean_queue
+                   - plain.estimate.mean_queue) > 0.1
+        assert delayed.estimate.std_queue > plain.estimate.std_queue
+
+
+class TestObjectives:
+    def test_scalar_batch_parity(self):
+        c0 = np.array([0.05, 0.1, 0.2, 0.4])
+        c1 = np.array([0.2, 0.4, 0.1, 0.8])
+        q_target = np.array([8.0, 8.0, 12.0, 4.0])
+        mu = np.array([1.0, 0.8, 1.2, 1.0])
+        grid_scores = score_gain_grid(PARAMS, c0, c1, q_target, mu,
+                                      t_end=80.0)
+        for index in range(c0.size):
+            scalar = score_operating_point(
+                PARAMS, c0[index], c1[index], q_target[index], mu[index],
+                t_end=80.0)
+            _approx_equal_scores(scalar, grid_scores.point(index))
+
+    def test_unfairness_matches_jain_of_shares(self):
+        from repro.config import SourceParameters
+        sources = [SourceParameters(c0=0.1, c1=0.4),
+                   SourceParameters(c0=PARAMS.c0, c1=PARAMS.c1)]
+        shares = predicted_equilibrium_shares(sources)
+        closed_form = deployment_unfairness(0.1, 0.4, PARAMS.c0, PARAMS.c1)
+        assert closed_form == pytest.approx(1.0 - jain_fairness_index(shares),
+                                            abs=1e-15)
+        assert deployment_unfairness(PARAMS.c0, PARAMS.c1,
+                                     PARAMS.c0, PARAMS.c1) == 0.0
+
+    def test_unfairness_rejects_bad_reference(self):
+        with pytest.raises(ConfigurationError):
+            deployment_unfairness(0.1, 0.4, 0.0, 0.2)
+
+    def test_weights_reject_negative(self):
+        with pytest.raises(ConfigurationError):
+            ObjectiveWeights(oscillation=-1.0)
+
+    def test_weights_round_trip(self):
+        weights = ObjectiveWeights(oscillation=2.0, queue_error=0.5)
+        assert ObjectiveWeights.from_dict(weights.to_dict()) == weights
+
+    def test_ranking_orders_by_score(self):
+        scores = score_gain_grid(PARAMS, np.array([0.05, 0.4, 0.1]),
+                                 np.array([0.2, 1.6, 0.4]),
+                                 np.array([8.0, 8.0, 8.0]),
+                                 np.array([1.0, 1.0, 1.0]), t_end=60.0)
+        ranking = scores.ranking()
+        ordered = scores.score[ranking]
+        assert np.all(np.diff(ordered) >= 0.0)
+
+
+class TestSettlingTimes:
+    def test_scalar_batch_parity(self):
+        control = jrj_from_parameters(PARAMS)
+        batch = integrate_characteristic_batch(
+            control, PARAMS, 0.0, 0.0, t_end=80.0, dt=0.1,
+            columns={"c1": np.array([0.1, 0.4, 0.8])})
+        batch_times = batch.settling_times(0.1)
+        for index, c1 in enumerate((0.1, 0.4, 0.8)):
+            member = integrate_characteristic(
+                JRJControl(c0=PARAMS.c0, c1=c1, q_target=PARAMS.q_target),
+                PARAMS, 0.0, 0.0, t_end=80.0, dt=0.1)
+            assert member.settling_time(0.1) == batch_times[index]
+
+    def test_settling_time_is_finite_and_bounded(self):
+        control = jrj_from_parameters(PARAMS)
+        trajectory = integrate_characteristic(control, PARAMS, 0.0, 0.0,
+                                              t_end=80.0, dt=0.1)
+        settle = trajectory.settling_time(0.1)
+        assert 0.0 <= settle <= 80.0
+
+    def test_oscillation_batch_matches_scalar(self):
+        times = np.linspace(0.0, 60.0, 601)
+        values = np.stack([8.0 + np.sin(times),
+                           4.0 + 0.01 * np.cos(2 * times)], axis=1)
+        batch = oscillation_metrics_batch(times, values)
+        for index in range(2):
+            scalar = oscillation_metrics(times, values[:, index])
+            member = batch.member(index)
+            assert member.amplitude == scalar.amplitude
+            assert member.mean_value == scalar.mean_value
+            assert member.sustained == scalar.sustained
+
+
+class TestTuner:
+    def test_small_sweep_end_to_end(self):
+        axes = default_axes(PARAMS, n_c0=3, n_c1=3, n_q_target=2, n_mu=2)
+        result = design_gains(PARAMS, axes["c0_values"], axes["c1_values"],
+                              axes["q_target_values"], axes["mu_values"],
+                              top_k=4, chunk_size=10, t_end=60.0)
+        assert result.n_points == 36
+        assert result.chunks == 4
+        assert len(result.ranked) == 4
+        assert result.n_refined == 4
+        assert all(gain.refined for gain in result.ranked)
+        assert all(np.isfinite(gain.stationary_mean_queue)
+                   for gain in result.ranked)
+        scores = [gain.score for gain in result.ranked]
+        assert scores == sorted(scores)
+        assert result.best is result.ranked[0]
+
+    def test_sigma_zero_skips_refinement(self):
+        params = SystemParameters(mu=1.0, q_target=8.0, c0=0.1, c1=0.4,
+                                  sigma=0.0)
+        result = design_gains(params, [0.05, 0.1], [0.2, 0.4], [8.0], [1.0],
+                              top_k=2, t_end=60.0)
+        assert result.n_refined == 0
+        assert not any(gain.refined for gain in result.ranked)
+        assert all(math.isnan(gain.stationary_mean_queue)
+                   for gain in result.ranked)
+
+    def test_pareto_front_is_non_dominated(self):
+        rng = np.random.default_rng(7)
+        amplitude = rng.uniform(0.0, 1.0, 60)
+        relaxation = rng.uniform(0.0, 100.0, 60)
+        front = pareto_front_indices(amplitude, relaxation)
+        assert front.size >= 1
+        for index in front:
+            dominated = ((amplitude <= amplitude[index])
+                         & (relaxation <= relaxation[index])
+                         & ((amplitude < amplitude[index])
+                            | (relaxation < relaxation[index])))
+            assert not dominated.any()
+
+    def test_refinement_survives_underresolved_grid(self):
+        # A queue extent far below the operating point starves the
+        # stationary solve of mass; the sweep must widen-retry or fall
+        # back to the coarse entry instead of raising.
+        tiny = GridParameters(q_max=4.0, nq=12, v_min=-1.2, v_max=1.2,
+                              nv=12)
+        result = design_gains(PARAMS, [0.4], [0.1], [8.0], [1.0],
+                              top_k=1, t_end=60.0, refine_grid=tiny)
+        assert len(result.ranked) == 1
+        gain = result.ranked[0]
+        assert gain.refined == (result.n_refined == 1)
+        if not gain.refined:
+            assert math.isnan(gain.stationary_mean_queue)
+
+    def test_ranked_gain_round_trips(self):
+        gain = RankedGain(rank=0, c0=0.1, c1=0.4, q_target=8.0, mu=1.0,
+                          score=0.5, oscillation_amplitude=0.1,
+                          oscillation_period=12.0, relaxation_time=20.0,
+                          queue_error=0.3, unfairness=0.0,
+                          stationary_mean_queue=6.4,
+                          stationary_std_queue=2.3, refined=True)
+        assert RankedGain.from_dict(gain.to_dict()) == gain
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ConfigurationError):
+            design_gains(PARAMS, top_k=0)
+        with pytest.raises(ConfigurationError):
+            design_gains(PARAMS, c0_values=[])
+
+
+class TestRunnerIntegration:
+    def test_design_matrix_is_registered(self):
+        definition = get_matrix("design-gain-grid")
+        jobs = definition.build(PARAMS, None, None)
+        assert len(jobs) == 16
+        assert all(dict(spec.overrides)["c0_values"] for spec in jobs)
+        # Overrides must stay hashable for the frozen JobSpec.
+        assert all(isinstance(hash(spec), int) for spec in jobs)
+
+    def test_design_chunk_point_orders_top_entries(self):
+        value = design_chunk_point(PARAMS, c0_values=(0.05, 0.1, 0.4),
+                                   c1_values=(0.2, 0.4), q_target=8.0,
+                                   mu=1.0, t_end=60.0, top_k=3)
+        assert value["n_points"] == 6
+        scores = [entry["score"] for entry in value["top"]]
+        assert scores == sorted(scores)
+        assert value["best_score"] == scores[0]
+
+
+class TestCachePrune:
+    def test_prune_removes_only_old_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("a" * 64, {"x": 1})
+        cache.put("b" * 64, {"x": 2})
+        now = 1_000_000_000.0
+        # Rewrite one entry's creation stamp to look a week stale.
+        import json
+        meta = tmp_path / "objects" / "aa" / ("a" * 64) / "meta.json"
+        data = json.loads(meta.read_text())
+        data["created"] = now - 8 * 86400
+        meta.write_text(json.dumps(data))
+        other = tmp_path / "objects" / "bb" / ("b" * 64) / "meta.json"
+        data = json.loads(other.read_text())
+        data["created"] = now - 3600
+        other.write_text(json.dumps(data))
+
+        removed = cache.prune(7 * 86400, now=now)
+        assert removed == 1
+        assert ("a" * 64) not in cache
+        assert ("b" * 64) in cache
+
+    def test_prune_drops_corrupt_metadata(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("c" * 64, {"x": 3})
+        meta = tmp_path / "objects" / "cc" / ("c" * 64) / "meta.json"
+        meta.write_text("{not json")
+        assert cache.prune(86400, now=1_000_000_000.0) == 1
+        assert len(cache) == 0
+
+
+class TestDesignCli:
+    def test_design_stationary_smoke(self, capsys):
+        from repro.cli import main
+        code = main(["design", "stationary", "--sigma", "0.5",
+                     "--c0", "0.1", "--c1", "0.4", "--q-target", "8",
+                     "--no-cache"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stationary density" in out
+        assert "residual" in out
+
+    def test_design_sweep_smoke(self, capsys):
+        from repro.cli import main
+        code = main(["design", "sweep", "--sigma", "0.5",
+                     "--c0", "0.1", "--c1", "0.4", "--q-target", "8",
+                     "--n-c0", "2", "--n-c1", "2", "--n-q-target", "1",
+                     "--n-mu", "1", "--top-k", "2", "--t-end", "60",
+                     "--no-cache"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ranked gains" in out
+        assert "Pareto front" in out
+
+    def test_cache_prune_requires_age(self, tmp_path, capsys):
+        from repro.cli import main
+        assert main(["cache", "prune", "--cache-dir", str(tmp_path)]) == 2
+        assert main(["cache", "prune", "--cache-dir", str(tmp_path),
+                     "--older-than", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 0 cache entries" in out

@@ -45,7 +45,7 @@ def _moment_tuple(moments):
 
 
 def _assert_close(actual, expected, tol):
-    for got, want in zip(actual, expected):
+    for got, want in zip(actual, expected, strict=True):
         assert got == pytest.approx(want, abs=tol)
 
 

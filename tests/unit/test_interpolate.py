@@ -26,7 +26,7 @@ class TestLinearInterpolate:
     def test_exact_at_nodes(self):
         xs = np.array([0.0, 0.5, 2.0])
         ys = np.array([1.0, -1.0, 4.0])
-        for x, y in zip(xs, ys):
+        for x, y in zip(xs, ys, strict=True):
             assert linear_interpolate(float(x), xs, ys) == pytest.approx(y)
 
     def test_single_sample(self):

@@ -236,7 +236,8 @@ class TestRunJobs:
                 for seed in (11, 22, 33, 44)]
         serial = run_jobs(jobs, n_jobs=1)
         parallel = run_jobs(jobs, n_jobs=2)
-        for left, right in zip(serial.outcomes, parallel.outcomes):
+        for left, right in zip(serial.outcomes, parallel.outcomes,
+                               strict=True):
             np.testing.assert_array_equal(left.value, right.value)
 
     def test_cache_hit_semantics(self, tmp_path):

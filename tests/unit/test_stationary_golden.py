@@ -1,0 +1,141 @@
+"""Golden stationary-solve values and marching cross-checks.
+
+The direct stationary solver (:mod:`repro.design.stationary`) claims the
+null vector of the one-step splitting matrix reproduces the time-marched
+density's limit exactly.  These tests pin that claim on three golden
+configurations -- plain diffusion, delayed feedback through the
+shifted-drift closure, and a two-source aggregate -- at 1e-6 relative
+against long marches, plus the absolute moment values so that silent
+numerical drift in either path is caught.  A property test checks the
+null-space solve is invariant to the COO triplet ordering on every
+backend.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import GridParameters, SourceParameters, SystemParameters
+from repro.core.generator import assemble_generator
+from repro.design import (
+    compare_with_marching,
+    solve_stationary,
+    solve_stationary_multisource,
+)
+from repro.multisource.fokker_planck_ms import AggregateControl
+from repro.numerics import available_backends, get_backend
+
+# Canonical golden discretisation: coarse enough to march far, fine enough
+# that the density is well resolved; dt=0.05 stays below the free-running
+# CFL step so marching takes uniform substeps (the splitting fixed point
+# then matches the march exactly, not just to O(dt)).
+GRID = GridParameters(q_max=30.0, nq=48, v_min=-1.2, v_max=1.2, nv=36)
+PARAMS = SystemParameters(mu=1.0, q_target=8.0, c0=0.1, c1=0.4, sigma=0.5)
+DT = 0.05
+DELAY = 2.0
+SOURCES = (
+    SourceParameters(c0=0.06, c1=0.3, name="a"),
+    SourceParameters(c0=0.04, c1=0.1, name="b"),
+)
+
+# Pinned moments of the three stationary solves (numpy backend, dt=0.05).
+GOLDEN = {
+    "plain": {
+        "mean_queue": 6.427279399627013,
+        "std_queue": 2.2984533957494473,
+        "mean_growth_rate": -0.004804439822954624,
+        "std_growth_rate": 0.508222023362039,
+    },
+    "delayed": {
+        "mean_queue": 5.741326347814511,
+        "std_queue": 3.5573805246233037,
+        "mean_growth_rate": -0.027327672112228283,
+        "std_growth_rate": 0.6764878850356499,
+    },
+    "multisource": {
+        "mean_queue": 7.459801601093587,
+        "std_queue": 2.480635321325868,
+        "mean_growth_rate": -0.0021386948870061487,
+        "std_growth_rate": 0.4691322713453641,
+    },
+}
+
+MOMENT_TOL = 1e-9          # pinned-value drift guard (relative)
+MARCH_TOL = 1e-6           # acceptance: stationary vs marched tail
+RESIDUAL_TOL = 1e-9
+
+
+def _assert_estimate(estimate, golden: dict) -> None:
+    for name, want in golden.items():
+        got = getattr(estimate, name)
+        assert got == pytest.approx(want, rel=MOMENT_TOL), name
+    assert estimate.residual <= RESIDUAL_TOL
+    assert estimate.dt == DT
+
+
+def _assert_marching(relative: dict) -> None:
+    for name, value in relative.items():
+        assert value <= MARCH_TOL, f"{name}: {value:.3e}"
+
+
+class TestGoldenStationary:
+    def test_plain_moments_and_marching(self):
+        density = solve_stationary(PARAMS, grid_params=GRID, dt=DT)
+        _assert_estimate(density.estimate, GOLDEN["plain"])
+        comparison = compare_with_marching(density, PARAMS, grid_params=GRID,
+                                           t_end=400.0)
+        _assert_marching(comparison["relative"])
+
+    def test_delayed_moments_and_marching(self):
+        density = solve_stationary(PARAMS, grid_params=GRID, dt=DT,
+                                   delay=DELAY)
+        _assert_estimate(density.estimate, GOLDEN["delayed"])
+        # The tilted drift relaxes slowly; t=800 is needed for 1e-6.
+        comparison = compare_with_marching(density, PARAMS, grid_params=GRID,
+                                           t_end=800.0, delay=DELAY)
+        _assert_marching(comparison["relative"])
+
+    def test_multisource_moments_and_marching(self):
+        result = solve_stationary_multisource(SOURCES, PARAMS,
+                                              grid_params=GRID, dt=DT)
+        _assert_estimate(result.stationary.estimate, GOLDEN["multisource"])
+        control = AggregateControl(SOURCES, PARAMS.q_target)
+        comparison = compare_with_marching(result.stationary, PARAMS,
+                                           control=control, grid_params=GRID,
+                                           t_end=400.0)
+        _assert_marching(comparison["relative"])
+
+    def test_multisource_shares_follow_gain_ratios(self):
+        result = solve_stationary_multisource(SOURCES, PARAMS,
+                                              grid_params=GRID, dt=DT)
+        ratios = np.array([s.c0 / s.c1 for s in SOURCES])
+        np.testing.assert_allclose(result.shares, ratios / ratios.sum(),
+                                   rtol=1e-12)
+        np.testing.assert_allclose(
+            result.mean_source_rates(),
+            result.shares * (PARAMS.mu
+                             + result.stationary.moments.mean_v),
+            rtol=1e-12)
+
+
+class TestTripletPermutationInvariance:
+    """The null solve must not depend on the COO storage order."""
+
+    @pytest.mark.parametrize("backend_name", available_backends())
+    def test_permuted_triplets_give_identical_density(self, backend_name):
+        generator = assemble_generator(PARAMS, grid_params=GRID)
+        operator = generator.splitting_matrix(DT)
+        backend = get_backend(backend_name)
+        weights = generator.mass_weights
+
+        reference, _ = backend.stationary_null_vector(
+            operator.rows, operator.cols, operator.values, operator.n,
+            weights=weights)
+
+        rng = np.random.default_rng(1991)
+        order = rng.permutation(operator.values.size)
+        permuted, info = backend.stationary_null_vector(
+            operator.rows[order], operator.cols[order],
+            operator.values[order], operator.n, weights=weights)
+
+        np.testing.assert_array_equal(permuted, reference)
+        assert info["residual"] <= RESIDUAL_TOL

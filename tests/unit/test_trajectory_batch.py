@@ -145,7 +145,7 @@ class TestVerifyTheorem1Batch:
         c0_values = [0.025, 0.05, 0.1, 0.2]
         batch = verify_theorem1_batch(canonical_params, t_end=400.0,
                                       columns={"c0": c0_values})
-        for c0, batched in zip(c0_values, batch):
+        for c0, batched in zip(c0_values, batch, strict=True):
             scalar = verify_theorem1(replace(canonical_params, c0=c0),
                                      t_end=400.0)
             assert scalar.converges == batched.converges
@@ -255,7 +255,8 @@ class TestFluidBatch:
                                              canonical_params):
         model = FluidModel(jrj_control, canonical_params)
         family = model.solve_batch([0.0, 4.0], [0.5, 1.2], t_end=80.0)
-        for (q0, rate0), member in zip([(0.0, 0.5), (4.0, 1.2)], family):
+        for (q0, rate0), member in zip([(0.0, 0.5), (4.0, 1.2)], family,
+                                       strict=True):
             reference = model.solve(q0=q0, rate0=rate0, t_end=80.0)
             assert np.array_equal(reference.times, member.times)
             assert np.array_equal(reference.queue, member.queue)

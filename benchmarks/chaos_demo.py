@@ -1,0 +1,259 @@
+"""Interrupted-then-resumed campaign demo for the fault-tolerance layer.
+
+The flagship robustness scenario from docs/robustness.md, end to end:
+
+1. compute the fault-free **serial reference** for the ``design-gain-grid``
+   matrix in-process (no cache, no journal, no faults);
+2. launch ``repro run design-gain-grid`` as a real CLI campaign with a
+   journal, slowed down by deterministic sleep faults (``REPRO_FAULTS``;
+   sleeps never change values), and **SIGKILL the whole process group**
+   once the journal shows enough completed jobs — a mid-matrix crash;
+3. finish the campaign with ``repro run design-gain-grid --resume`` and
+   check the journaled successes of the interrupted run were replayed,
+   not recomputed;
+4. verify every journaled value is **bit-identical** to the serial
+   reference;
+5. as a bonus leg, run the same matrix in-process under a worker-kill +
+   transient-raise chaos plan with ``retries=2`` and verify zero failures
+   and, again, bit-identical values.
+
+The demo fails (exit 1) only on *correctness*: a value mismatch, a failed
+resume, or an unabsorbed fault.  It never fails on timing — if the
+campaign outruns the killer on a fast machine the interruption is simply
+reported as degraded in the summary.  Artifacts (interrupted + final
+journals, run transcripts, ``summary.json``) are written to ``--out`` for
+CI upload.
+
+Usage::
+
+    python benchmarks/chaos_demo.py --out chaos-artifacts
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from the tree without an install
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro import SystemParameters                     # noqa: E402
+from repro.runner import FaultPlan, RunJournal, run_jobs  # noqa: E402
+from repro.runner.experiments import get_matrix        # noqa: E402
+
+MATRIX = "design-gain-grid"
+
+
+def _bit_identical(left, right) -> bool:
+    """Structural equality with byte-exact array/scalar comparison."""
+    if isinstance(left, np.ndarray) or isinstance(right, np.ndarray):
+        if not isinstance(left, np.ndarray) \
+                or not isinstance(right, np.ndarray):
+            return False
+        return left.dtype == right.dtype and left.shape == right.shape \
+            and left.tobytes() == right.tobytes()
+    if isinstance(left, dict) and isinstance(right, dict):
+        return left.keys() == right.keys() and all(
+            _bit_identical(left[key], right[key]) for key in left)
+    if isinstance(left, (list, tuple)) and isinstance(right, (list, tuple)):
+        return len(left) == len(right) and all(
+            _bit_identical(a, b) for a, b in zip(left, right, strict=True))
+    if isinstance(left, float) and isinstance(right, float):
+        return left == right or (left != left and right != right)
+    return type(left) is type(right) and left == right
+
+
+def _count_journal_successes(path: Path) -> int:
+    if not path.is_file():
+        return 0
+    count = 0
+    for line in path.read_bytes().splitlines():
+        try:
+            record = json.loads(line)
+        except (ValueError, UnicodeDecodeError):
+            continue
+        if record.get("type") == "outcome" and record.get("ok"):
+            count += 1
+    return count
+
+
+def _cli_command(t_end: float, jobs: int, journal: Path,
+                 resume: bool) -> list:
+    command = [sys.executable, "-m", "repro.cli", "run", MATRIX,
+               "--jobs", str(jobs), "--no-cache",
+               "--journal", str(journal), "--t-end", f"{t_end:g}"]
+    if resume:
+        command.append("--resume")
+    return command
+
+
+def _subprocess_env(faults: Optional[FaultPlan] = None) -> dict:
+    env = os.environ.copy()
+    env.pop("REPRO_FAULTS", None)
+    if faults is not None:
+        env["REPRO_FAULTS"] = faults.to_environment()
+    src = str(_REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "") \
+        if env.get("PYTHONPATH") else src
+    return env
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="chaos-artifacts",
+                        help="artifact directory (default chaos-artifacts)")
+    parser.add_argument("--t-end", type=float, default=150.0,
+                        help="matrix horizon (default 150, the CLI default)")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="campaign worker count (default 2)")
+    parser.add_argument("--kill-after", type=int, default=4,
+                        help="SIGKILL the campaign after this many "
+                             "journaled successes (default 4)")
+    parser.add_argument("--sleep", type=float, default=0.4,
+                        help="per-job sleep fault in the interrupted run, "
+                             "to make the kill land mid-matrix "
+                             "(default 0.4s; sleeps never change values)")
+    args = parser.parse_args(argv)
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    journal_path = out / "campaign.jsonl"
+    if journal_path.exists():
+        journal_path.unlink()
+
+    summary = {"matrix": MATRIX, "t_end": args.t_end, "jobs": args.jobs}
+    failures = []
+
+    # -- 1. fault-free serial reference ------------------------------------
+    params = SystemParameters(mu=1.0, q_target=10.0, c0=0.05, c1=0.2,
+                              sigma=0.0)
+    specs = get_matrix(MATRIX).build(params, None, args.t_end)
+    reference = run_jobs(specs, n_jobs=1, faults=FaultPlan())
+    if reference.failures:
+        print("reference run failed:", reference.failures[0].error)
+        return 1
+    expected = {outcome.spec.key: outcome.value for outcome in reference}
+    summary["matrix_jobs"] = len(specs)
+    print(f"[1/5] serial reference: {len(specs)} jobs ok")
+
+    # -- 2. interrupted campaign -------------------------------------------
+    sleep_plan = FaultPlan(seed=0, sleep_every=1, sleep_seconds=args.sleep)
+    process = subprocess.Popen(
+        _cli_command(args.t_end, args.jobs, journal_path, resume=False),
+        cwd=_REPO_ROOT, env=_subprocess_env(sleep_plan),
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        start_new_session=True)
+    deadline = time.monotonic() + 120.0
+    killed = False
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            break
+        if _count_journal_successes(journal_path) >= args.kill_after:
+            os.killpg(process.pid, signal.SIGKILL)
+            killed = True
+            break
+        time.sleep(0.05)
+    if process.poll() is None and not killed:
+        os.killpg(process.pid, signal.SIGKILL)   # never hang on timing
+        killed = True
+    process.wait()
+
+    interrupted = _count_journal_successes(journal_path)
+    summary["interrupted"] = {
+        "killed": killed,
+        "journaled_successes": interrupted,
+        "returncode": process.returncode,
+    }
+    shutil.copy(journal_path, out / "journal-interrupted.jsonl")
+    if killed and interrupted >= len(specs):
+        # The campaign finished before the killer fired; correctness is
+        # still checked below, but the run no longer demonstrates resume.
+        print("[2/5] WARNING: campaign completed before the kill "
+              "(timing, not an error)")
+    else:
+        print(f"[2/5] campaign SIGKILLed mid-matrix with "
+              f"{interrupted}/{len(specs)} jobs journaled")
+
+    # -- 3. resume ----------------------------------------------------------
+    completed = subprocess.run(
+        _cli_command(args.t_end, args.jobs, journal_path, resume=True),
+        cwd=_REPO_ROOT, env=_subprocess_env(),
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    (out / "resume-transcript.txt").write_text(completed.stdout)
+    summary["resume"] = {"returncode": completed.returncode,
+                         "journal_hits_expected": interrupted}
+    if completed.returncode != 0:
+        failures.append(f"resume run exited {completed.returncode}")
+    if interrupted and "resumed (journal hits)" not in completed.stdout:
+        failures.append("resume transcript reports no journal hits")
+    print(f"[3/5] resume exited {completed.returncode}")
+
+    # -- 4. bit-identical verification --------------------------------------
+    shutil.copy(journal_path, out / "journal-final.jsonl")
+    with RunJournal(journal_path) as journal:
+        replayed = {key: record.value
+                    for key, record in journal.successes().items()}
+    missing = [spec.label for spec in specs if spec.key not in replayed]
+    mismatched = [spec.label for spec in specs
+                  if spec.key in replayed
+                  and not _bit_identical(replayed[spec.key],
+                                         expected[spec.key])]
+    if missing:
+        failures.append(f"{len(missing)} jobs missing after resume: "
+                        f"{missing[:3]}")
+    if mismatched:
+        failures.append(f"{len(mismatched)} jobs differ from the serial "
+                        f"reference: {mismatched[:3]}")
+    summary["verification"] = {"jobs": len(specs),
+                               "missing": len(missing),
+                               "mismatched": len(mismatched)}
+    print(f"[4/5] resumed campaign vs serial reference: "
+          f"{len(specs) - len(missing) - len(mismatched)}/{len(specs)} "
+          f"bit-identical")
+
+    # -- 5. chaos-absorption leg --------------------------------------------
+    chaos_plan = FaultPlan(seed=5, transient_every=4, kill_every=8)
+    chaos = run_jobs(specs, n_jobs=args.jobs, retries=2, timeout=120.0,
+                     faults=chaos_plan)
+    chaos_mismatch = sum(
+        1 for outcome in chaos
+        if not outcome.ok
+        or not _bit_identical(outcome.value, expected[outcome.spec.key]))
+    if chaos.failures:
+        failures.append(f"{len(chaos.failures)} chaos jobs not absorbed "
+                        f"by retries=2")
+    if chaos_mismatch:
+        failures.append(f"{chaos_mismatch} chaos jobs differ from the "
+                        f"serial reference")
+    summary["chaos"] = {"retried": chaos.retried,
+                        "failed": len(chaos.failures),
+                        "mismatched": chaos_mismatch}
+    print(f"[5/5] chaos plan (kills + transients, retries=2): "
+          f"{chaos.retried} retried, {len(chaos.failures)} failed")
+
+    summary["ok"] = not failures
+    summary["failures"] = failures
+    (out / "summary.json").write_text(json.dumps(summary, indent=2))
+    print(json.dumps(summary, indent=2))
+    if failures:
+        print("CHAOS DEMO FAILED:", "; ".join(failures), file=sys.stderr)
+        return 1
+    print("chaos demo ok: interrupted, resumed, bit-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

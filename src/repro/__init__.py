@@ -48,9 +48,13 @@ from .exceptions import (
     ConfigurationError,
     ConvergenceError,
     GridError,
+    JobTimeoutError,
     ReproError,
+    ResultTransportError,
     SimulationError,
     StabilityError,
+    TransientJobError,
+    WorkerCrashError,
 )
 from .control import (
     DECbitWindow,
@@ -166,6 +170,10 @@ __all__ = [
     "StabilityError",
     "SimulationError",
     "AnalysisError",
+    "TransientJobError",
+    "WorkerCrashError",
+    "JobTimeoutError",
+    "ResultTransportError",
     # control laws
     "RateControl",
     "WindowControl",

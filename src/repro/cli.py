@@ -30,10 +30,16 @@ top of those, the :mod:`repro.runner` orchestration layer adds:
   (``repro design sweep``), printing ranked gains and the
   oscillation-versus-relaxation Pareto front (see ``docs/design.md``);
 * ``repro cache {info,list,clear,prune}`` -- inspect, empty or age out
-  that cache (``prune --older-than DAYS`` deletes stale entries);
+  that cache (``prune --older-than DAYS`` deletes stale entries; ``info``
+  also reports quarantined corrupt entries);
 * ``--jobs N``, ``--no-cache`` and ``--cache-dir PATH`` on the experiment
   sub-commands above, which route their evaluations through the same
-  runner (``delay-sweep --jobs 4`` runs one worker process per delay).
+  runner (``delay-sweep --jobs 4`` runs one worker process per delay);
+* fault tolerance for long campaigns (see ``docs/robustness.md``):
+  ``--retries N`` re-executes transiently failed jobs with deterministic
+  backoff, ``--timeout SECONDS`` kills and retries wedged jobs, and
+  ``repro run`` journals every outcome so an interrupted campaign
+  continues with ``repro run <matrix> --resume``.
 """
 
 from __future__ import annotations
@@ -51,7 +57,15 @@ from .analysis import (
 from .characteristics import verify_theorem1
 from .config import GridParameters, SystemParameters
 from .exceptions import ConfigurationError
-from .runner import JobSpec, ResultCache, print_progress, run_jobs
+from .runner import (
+    JobSpec,
+    ResultCache,
+    RunJournal,
+    content_hash,
+    default_cache_dir,
+    print_progress,
+    run_jobs,
+)
 from .runner.experiments import (
     available_matrices,
     delay_point,
@@ -94,6 +108,14 @@ def _add_runner_options(parser: argparse.ArgumentParser) -> None:
                              "or $REPRO_CACHE_DIR)")
     parser.add_argument("--progress", action="store_true",
                         help="print per-job progress lines to stderr")
+    parser.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="retry transiently failed jobs (killed worker, "
+                             "timeout, broken pool) up to N times with "
+                             "deterministic backoff (default 0)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-job wall-clock budget; exceeded jobs are "
+                             "killed and retried (needs --jobs > 1)")
 
 
 def _cache_from(args: argparse.Namespace) -> Optional[ResultCache]:
@@ -102,9 +124,43 @@ def _cache_from(args: argparse.Namespace) -> Optional[ResultCache]:
     return ResultCache(args.cache_dir)
 
 
+def _journal_for(args: argparse.Namespace, matrix: str,
+                 jobs: List[JobSpec]) -> Optional[RunJournal]:
+    """The campaign journal for ``repro run``: derived path, resume-aware.
+
+    The default path encodes the matrix name plus a digest of the job keys,
+    so differently parameterised campaigns of the same matrix journal to
+    different files.  Without ``--resume`` any existing journal is
+    discarded first -- a fresh campaign must not silently skip work
+    journaled by an older one.
+    """
+    if getattr(args, "no_journal", False):
+        if getattr(args, "resume", False):
+            raise ConfigurationError(
+                "--resume needs the journal; drop --no-journal")
+        return None
+    if args.journal is not None:
+        path = args.journal
+    else:
+        if getattr(args, "no_cache", False) and not getattr(args, "resume",
+                                                            False):
+            # The derived journal follows the cache's persistence choice;
+            # an explicit --journal or --resume re-enables it.
+            return None
+        root = args.cache_dir if args.cache_dir else default_cache_dir()
+        digest = content_hash(sorted(job.key for job in jobs))[:12]
+        path = f"{root}/journals/{matrix}-{digest}.jsonl"
+    journal = RunJournal(path)
+    if not getattr(args, "resume", False):
+        journal.clear()
+    return journal
+
+
 def _run_matrix(jobs: List[JobSpec], args: argparse.Namespace):
     result = run_jobs(jobs, n_jobs=args.jobs, cache=_cache_from(args),
-                      progress=print_progress if args.progress else None)
+                      progress=print_progress if args.progress else None,
+                      retries=getattr(args, "retries", 0),
+                      timeout=getattr(args, "timeout", None))
     result.raise_failures()
     return result
 
@@ -176,6 +232,16 @@ def build_parser() -> argparse.ArgumentParser:
                      help="master seed for per-job seed derivation")
     run.add_argument("--t-end", type=float, default=None,
                      help="override the matrix's per-job horizon")
+    run.add_argument("--resume", action="store_true",
+                     help="replay the campaign journal and skip journaled "
+                          "successes (continue an interrupted campaign)")
+    run.add_argument("--journal", default=None, metavar="PATH",
+                     help="campaign journal file (default: derived from the "
+                          "matrix under <cache-root>/journals/; with "
+                          "--no-cache the derived journal is disabled too "
+                          "unless --resume or an explicit path is given)")
+    run.add_argument("--no-journal", action="store_true",
+                     help="do not journal outcomes (disables --resume)")
 
     design = subparsers.add_parser(
         "design", help="gain design: stationary solves and objective sweeps")
@@ -352,11 +418,16 @@ def _run_run(args: argparse.Namespace) -> int:
     params = _system_parameters(args)
     definition = get_matrix(args.matrix)
     jobs = definition.build(params, args.seed, args.t_end)
+    journal = _journal_for(args, definition.name, jobs)
 
     started = time.perf_counter()
     result = run_jobs(jobs, n_jobs=args.jobs, cache=_cache_from(args),
-                      progress=print_progress if args.progress else None)
+                      progress=print_progress if args.progress else None,
+                      retries=args.retries, timeout=args.timeout,
+                      journal=journal)
     elapsed = time.perf_counter() - started
+    if journal is not None:
+        journal.close()
 
     rows = []
     for outcome in result:
@@ -368,14 +439,21 @@ def _run_run(args: argparse.Namespace) -> int:
                         if isinstance(value, (int, float, bool))})
         rows.append(row)
     print(format_table(rows, title=f"{definition.name}: {definition.description}"))
-    print(format_key_values("matrix summary", {
+    summary = {
         "jobs": len(result),
         "cache hits": result.cache_hits,
         "computed": result.computed,
         "failed": len(result.failures),
         "workers": args.jobs,
         "wall clock [s]": round(elapsed, 3),
-    }))
+    }
+    if journal is not None:
+        summary["journal"] = str(journal.path)
+        if args.resume:
+            summary["resumed (journal hits)"] = result.journal_hits
+    if result.retried:
+        summary["retried"] = result.retried
+    print(format_key_values("matrix summary", summary))
     for outcome in result.failures:
         print(f"\nFAILED {outcome.spec.label}:\n{outcome.error}",
               file=sys.stderr)
@@ -517,6 +595,7 @@ def _run_cache(args: argparse.Namespace) -> int:
     print(format_key_values(f"result cache at {cache.root}", {
         "entries": len(entries),
         "total size [B]": cache.size_bytes(),
+        "quarantined (corrupt)": cache.quarantined_count(),
     }))
     return 0
 

@@ -51,6 +51,39 @@ class SimulationError(ReproError):
     """The discrete-event simulator entered an inconsistent state."""
 
 
+class TransientJobError(ReproError):
+    """An infrastructure-level job failure that a retry can plausibly fix.
+
+    The runner's retry machinery re-executes jobs that fail with a subclass
+    of this error (a killed worker, a broken process pool, an exceeded
+    timeout, an unpicklable transport).  Deterministic numerical failures
+    (:class:`StabilityError`, :class:`ConvergenceError`, ...) deliberately do
+    *not* derive from it: re-running a bit-identical job cannot change a
+    deterministic outcome, so retrying would only waste the campaign's time.
+    """
+
+
+class WorkerCrashError(TransientJobError):
+    """A worker process died (SIGKILL, OOM, hard crash) mid-job.
+
+    Surfaces in the parent as ``BrokenProcessPool``; the supervised executor
+    converts it to this error, respawns a fresh pool and resubmits the
+    surviving pending jobs.
+    """
+
+
+class JobTimeoutError(TransientJobError):
+    """A job exceeded the per-job ``timeout=`` and its worker was killed."""
+
+
+class ResultTransportError(TransientJobError):
+    """A job's result or exception could not cross the process boundary.
+
+    Typically an unpicklable return value or a pipe torn down mid-transfer;
+    classified transient because the transport (not the computation) failed.
+    """
+
+
 class AnalysisError(ReproError):
     """A post-processing analysis could not be completed.
 

@@ -9,10 +9,19 @@ parallelism, deterministic seeding and on-disk result reuse:
   evaluation, with a stable SHA-256 content hash;
 * :mod:`repro.runner.grid` -- :func:`expand_grid` / :func:`build_matrix`,
   cartesian sweep construction with spawn-key-derived per-job seeds;
-* :mod:`repro.runner.executor` -- :func:`run_jobs`, the serial/parallel
-  executor with failure isolation and progress reporting;
+* :mod:`repro.runner.executor` -- :func:`run_jobs`, the supervised
+  serial/parallel executor with failure isolation, retries with
+  deterministic backoff (:class:`RetryPolicy`), per-job timeouts, pool
+  respawn on worker death, and progress reporting;
 * :mod:`repro.runner.cache` -- :class:`ResultCache`, the content-addressed
-  JSON + npz (+ pickle fallback) store under ``~/.cache/repro``;
+  JSON + npz (+ pickle fallback) store under ``~/.cache/repro`` with
+  fsync'd atomic writes and a ``corrupt/`` quarantine;
+* :mod:`repro.runner.journal` -- :class:`RunJournal`, the crash-safe
+  append-only outcome journal behind checkpoint/resume
+  (``run_jobs(..., journal=...)`` / ``repro run --resume``);
+* :mod:`repro.runner.faults` -- :class:`FaultPlan`, deterministic fault
+  injection (worker kills, transient raises, timeout sleeps) for testing
+  every recovery path above;
 * :mod:`repro.runner.experiments` -- importable job callables and the named
   matrices behind ``repro run``.
 
@@ -32,9 +41,18 @@ Quick start::
 """
 
 from .cache import CacheEntryInfo, ResultCache, default_cache_dir
-from .executor import JobOutcome, MatrixResult, print_progress, run_jobs
+from .executor import (
+    JobOutcome,
+    MatrixResult,
+    RetryPolicy,
+    print_progress,
+    run_jobs,
+)
+from .faults import FaultPlan, InjectedTransientError, corrupt_cache_entry, \
+    truncate_journal
 from .grid import build_matrix, expand_grid
 from .hashing import canonical_json, content_hash
+from .journal import JournalRecord, RunJournal
 from .spec import ExperimentSpec, JobSpec, function_reference
 
 __all__ = [
@@ -48,8 +66,15 @@ __all__ = [
     "run_jobs",
     "JobOutcome",
     "MatrixResult",
+    "RetryPolicy",
     "print_progress",
     "ResultCache",
     "CacheEntryInfo",
     "default_cache_dir",
+    "RunJournal",
+    "JournalRecord",
+    "FaultPlan",
+    "InjectedTransientError",
+    "corrupt_cache_entry",
+    "truncate_journal",
 ]

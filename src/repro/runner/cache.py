@@ -11,10 +11,13 @@ Layout (under ``~/.cache/repro`` by default, overridable with the
 
 ``<key>`` is the SHA-256 content hash of the job fingerprint
 (:meth:`repro.runner.JobSpec.key`), so a cache entry is valid for exactly
-one logical computation.  Reads are defensive: any malformed entry --
+one logical computation.  Writes are crash-safe: every artifact is
+written into a staging directory, flushed and ``fsync``'d, then published
+with a single atomic rename.  Reads are defensive: any malformed entry --
 truncated JSON, missing artifact, undecodable pickle -- is treated as a
-miss and purged, so a corrupted cache degrades to recomputation rather
-than to an error.
+miss and moved to a ``corrupt/`` quarantine (inspectable via ``repro
+cache info``), so a corrupted cache degrades to recomputation rather
+than to an error while preserving the evidence.
 """
 
 from __future__ import annotations
@@ -54,6 +57,26 @@ def default_cache_dir() -> Path:
 
 class _Unencodable(Exception):
     """Internal: the value cannot use the JSON(+npz) encoding."""
+
+
+def _fsync_handle(handle) -> None:
+    """Flush *handle* and force its bytes to stable storage."""
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
+def _fsync_dir(path: Path) -> None:
+    """Best-effort fsync of a directory (persists renames within it)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 def _encode_jsonable(value: Any, arrays: Dict[str, np.ndarray]) -> Any:
@@ -147,14 +170,18 @@ class ResultCache:
             encoding = "pickle"
             with open(staging / _PICKLE_NAME, "wb") as handle:
                 pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                _fsync_handle(handle)
         else:
             encoding = "json+npz" if arrays else "json"
             with open(staging / _JSON_NAME, "w", encoding="utf-8") as handle:
                 json.dump(jsonable, handle)
+                _fsync_handle(handle)
             if arrays:
                 buffer = io.BytesIO()
                 np.savez_compressed(buffer, **arrays)
-                (staging / _NPZ_NAME).write_bytes(buffer.getvalue())
+                with open(staging / _NPZ_NAME, "wb") as handle:
+                    handle.write(buffer.getvalue())
+                    _fsync_handle(handle)
 
         metadata = {
             "format": _FORMAT_VERSION,
@@ -165,6 +192,7 @@ class ResultCache:
         metadata.update(meta or {})
         with open(staging / _META_NAME, "w", encoding="utf-8") as handle:
             json.dump(metadata, handle, indent=1, default=str)
+            _fsync_handle(handle)
 
         if entry.exists():
             shutil.rmtree(entry)
@@ -177,11 +205,13 @@ class ResultCache:
             shutil.rmtree(staging, ignore_errors=True)
             if not (entry / _META_NAME).is_file():
                 raise
+        # A crash after the rename must not lose the rename itself.
+        _fsync_dir(entry.parent)
 
     # -- read --------------------------------------------------------------
 
     def get(self, key: str) -> Tuple[bool, Any]:
-        """Return ``(hit, value)``; malformed entries are purged as misses."""
+        """Return ``(hit, value)``; malformed entries are quarantined as misses."""
         entry = self._entry_dir(key)
         meta_path = entry / _META_NAME
         if not meta_path.is_file():
@@ -207,10 +237,45 @@ class ResultCache:
                 return True, _decode_jsonable(jsonable, arrays)
             raise ValueError(f"unknown cache encoding {encoding!r}")
         except Exception:
-            # Corrupted or unreadable entry: purge it and report a miss so
-            # the caller recomputes instead of failing.
-            shutil.rmtree(entry, ignore_errors=True)
+            # Corrupted or unreadable entry: quarantine it and report a
+            # miss, so the caller recomputes instead of failing and the
+            # damaged bytes stay inspectable under ``corrupt/``.
+            self._quarantine(entry)
             return False, None
+
+    # -- quarantine --------------------------------------------------------
+
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where corrupted entries are parked (``<root>/corrupt``)."""
+        return self.root / "corrupt"
+
+    def _quarantine(self, entry: Path) -> None:
+        target = self.quarantine_dir / entry.name
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            if target.exists():
+                shutil.rmtree(target, ignore_errors=True)
+            os.replace(entry, target)
+        except OSError:
+            # Quarantine is best-effort; never let it block the miss path.
+            shutil.rmtree(entry, ignore_errors=True)
+
+    def quarantined_count(self) -> int:
+        """Number of corrupted entries parked under ``corrupt/``."""
+        if not self.quarantine_dir.is_dir():
+            return 0
+        return sum(1 for child in self.quarantine_dir.iterdir()
+                   if child.is_dir())
+
+    def clear_quarantine(self) -> int:
+        """Delete the quarantined entries; returns how many were removed."""
+        removed = 0
+        if self.quarantine_dir.is_dir():
+            for child in list(self.quarantine_dir.iterdir()):
+                shutil.rmtree(child, ignore_errors=True)
+                removed += 1
+        return removed
 
     # -- maintenance -------------------------------------------------------
 
@@ -256,12 +321,12 @@ class ResultCache:
         return total
 
     def clear(self) -> int:
-        """Delete every entry; returns the number of entries removed."""
+        """Delete every entry (quarantine included); returns the count."""
         removed = 0
         for entry in list(self._iter_entry_dirs()):
             shutil.rmtree(entry, ignore_errors=True)
             removed += 1
-        return removed
+        return removed + self.clear_quarantine()
 
     def prune(self, older_than_seconds: float, *,
               now: Optional[float] = None) -> int:

@@ -1,0 +1,271 @@
+"""Crash-safe append-only campaign journal for checkpoint/resume.
+
+A :class:`RunJournal` records each job outcome as one self-contained JSON
+line the moment it completes, so a campaign killed at any instant --
+``kill -9``, power loss, a broken pool the retries could not absorb --
+leaves behind an exact account of what finished.  Re-running with
+``run_jobs(..., journal=...)`` (or ``repro run --resume``) replays that
+account and skips every journaled success, continuing where the dead
+campaign left off.
+
+Design points:
+
+* **Append-only, atomic records.**  Each record is a single
+  newline-terminated line, flushed and ``fsync``'d before the append
+  returns, so at most the final line can ever be damaged.
+* **Truncated-tail recovery.**  Opening a journal scans it line by line;
+  a partial or malformed trailing line (the signature of a crash mid
+  append) is dropped and the file is truncated back to the last intact
+  record, so the journal self-heals instead of poisoning the resume.
+* **Order-insensitive replay.**  Replay folds records into a key-indexed
+  map in which any success for a key wins over any failure for the same
+  key.  Because the runner's jobs are deterministic, all successes for a
+  key carry bit-identical values, so replay is invariant under arbitrary
+  permutation of the journal's lines -- pinned by a property test.
+* **Bit-exact values.**  Values are stored with the cache's JSON codec,
+  with ndarrays embedded as base64 raw bytes (and a pickle+base64
+  fallback for arbitrary objects), so a value served from the journal is
+  bit-identical to the freshly computed one.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .cache import _decode_jsonable, _encode_jsonable, _Unencodable
+
+__all__ = ["RunJournal", "JournalRecord", "encode_value", "decode_value"]
+
+#: Bump when the record format changes; mismatched journals refuse replay.
+_FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Value codec: cache JSON codec + base64-embedded arrays, pickle fallback.
+# ---------------------------------------------------------------------------
+
+def _encode_array(array: np.ndarray) -> Dict[str, Any]:
+    if array.dtype.hasobject:
+        raise _Unencodable("object-dtype array")
+    contiguous = np.ascontiguousarray(array)
+    return {
+        "dtype": contiguous.dtype.str,
+        "shape": list(contiguous.shape),
+        "data": base64.b64encode(contiguous.tobytes()).decode("ascii"),
+    }
+
+
+def _decode_array(payload: Dict[str, Any]) -> np.ndarray:
+    raw = base64.b64decode(payload["data"])
+    return np.frombuffer(raw, dtype=np.dtype(payload["dtype"])) \
+        .reshape(payload["shape"]).copy()
+
+
+def encode_value(value: Any) -> Dict[str, Any]:
+    """Encode *value* into a JSON-able ``{"encoding": ..., ...}`` payload."""
+    arrays: Dict[str, np.ndarray] = {}
+    try:
+        jsonable = _encode_jsonable(value, arrays)
+        encoded_arrays = {token: _encode_array(array)
+                          for token, array in arrays.items()}
+    except _Unencodable:
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        return {"encoding": "pickle",
+                "data": base64.b64encode(blob).decode("ascii")}
+    return {"encoding": "json", "json": jsonable, "arrays": encoded_arrays}
+
+
+def decode_value(payload: Dict[str, Any]) -> Any:
+    """Invert :func:`encode_value`, bit-identically."""
+    encoding = payload.get("encoding")
+    if encoding == "pickle":
+        return pickle.loads(base64.b64decode(payload["data"]))
+    if encoding == "json":
+        arrays = {token: _decode_array(spec)
+                  for token, spec in payload.get("arrays", {}).items()}
+        return _decode_jsonable(payload.get("json"), arrays)
+    raise ValueError(f"unknown journal value encoding {encoding!r}")
+
+
+# ---------------------------------------------------------------------------
+# The journal.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One replayed outcome: the key, success flag and decoded value."""
+
+    key: str
+    label: str
+    ok: bool
+    value: Any = None
+    error: Optional[str] = None
+    attempts: int = 1
+    duration: float = 0.0
+
+
+class RunJournal:
+    """Append-only, fsync'd, self-healing record of a campaign's outcomes.
+
+    Parameters
+    ----------
+    path:
+        Journal file location (created, with parents, on first append).
+    fsync:
+        Force each record to stable storage before the append returns
+        (default).  Tests may disable it for speed; production campaigns
+        should not.
+    """
+
+    def __init__(self, path: os.PathLike, fsync: bool = True):
+        self.path = Path(path).expanduser()
+        self._fsync = bool(fsync)
+        self._handle = None
+        self._replayed: Optional[Dict[str, JournalRecord]] = None
+
+    # -- replay ------------------------------------------------------------
+
+    def replay(self) -> Dict[str, JournalRecord]:
+        """Fold the journal into a ``key -> record`` map (success wins).
+
+        Scans the file line by line, dropping a damaged tail, and caches
+        the result; the cache is updated incrementally by :meth:`record`,
+        so replay-then-append round trips stay consistent.
+        """
+        if self._replayed is None:
+            self._replayed = {}
+            self._recover()
+        return dict(self._replayed)
+
+    def successes(self) -> Dict[str, JournalRecord]:
+        """Only the journaled successes (the jobs resume can skip)."""
+        return {key: record for key, record in self.replay().items()
+                if record.ok}
+
+    def _fold(self, record: JournalRecord) -> None:
+        existing = self._replayed.get(record.key)
+        if existing is None or (record.ok and not existing.ok):
+            self._replayed[record.key] = record
+
+    def _recover(self) -> None:
+        """Scan the file, fold intact records, truncate a damaged tail."""
+        if not self.path.is_file():
+            return
+        good_end = 0
+        with open(self.path, "rb") as handle:
+            for line in handle:
+                if not line.endswith(b"\n"):
+                    break  # partial final line: crash mid-append
+                try:
+                    payload = json.loads(line.decode("utf-8"))
+                    record = self._record_from(payload)
+                except (ValueError, KeyError, TypeError):
+                    break  # malformed record: treat it and the rest as torn
+                good_end += len(line)
+                if record is not None:
+                    self._fold(record)
+        if good_end < self.path.stat().st_size:
+            with open(self.path, "rb+") as handle:
+                handle.truncate(good_end)
+
+    def _record_from(self, payload: Dict[str, Any]) \
+            -> Optional[JournalRecord]:
+        kind = payload.get("type")
+        if kind == "journal":
+            if payload.get("format") != _FORMAT_VERSION:
+                raise ConfigurationError(
+                    f"journal {self.path} uses format "
+                    f"{payload.get('format')!r}, expected {_FORMAT_VERSION}")
+            return None
+        if kind != "outcome":
+            raise ValueError(f"unknown journal record type {kind!r}")
+        ok = bool(payload["ok"])
+        return JournalRecord(
+            key=payload["key"],
+            label=str(payload.get("label", "")),
+            ok=ok,
+            value=decode_value(payload["value"]) if ok else None,
+            error=payload.get("error"),
+            attempts=int(payload.get("attempts", 1)),
+            duration=float(payload.get("duration", 0.0)))
+
+    # -- append ------------------------------------------------------------
+
+    def _open(self):
+        if self._handle is None:
+            if self._replayed is None:
+                self.replay()  # heal a damaged tail before appending
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fresh = not self.path.exists()
+            self._handle = open(self.path, "a", encoding="utf-8")
+            if fresh or self._handle.tell() == 0:
+                self._append({"type": "journal", "format": _FORMAT_VERSION})
+        return self._handle
+
+    def _append(self, payload: Dict[str, Any]) -> None:
+        handle = self._handle
+        handle.write(json.dumps(payload, separators=(",", ":"),
+                                default=str) + "\n")
+        handle.flush()
+        if self._fsync:
+            os.fsync(handle.fileno())
+
+    def record(self, outcome) -> None:
+        """Append one finished :class:`~repro.runner.JobOutcome`."""
+        payload: Dict[str, Any] = {
+            "type": "outcome",
+            "key": outcome.key,
+            "label": outcome.spec.label,
+            "ok": outcome.ok,
+            "attempts": int(getattr(outcome, "attempts", 1)),
+            "duration": float(outcome.duration),
+        }
+        if outcome.ok:
+            payload["value"] = encode_value(outcome.value)
+        else:
+            payload["error"] = outcome.error
+        self._open()
+        self._append(payload)
+        self._fold(JournalRecord(
+            key=outcome.key, label=outcome.spec.label, ok=outcome.ok,
+            value=outcome.value if outcome.ok else None,
+            error=outcome.error,
+            attempts=int(getattr(outcome, "attempts", 1)),
+            duration=float(outcome.duration)))
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def clear(self) -> None:
+        """Delete the journal file (a fresh, non-resumed campaign)."""
+        self.close()
+        self._replayed = None
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self.replay())
+
+    def __repr__(self) -> str:
+        return f"RunJournal({str(self.path)!r})"

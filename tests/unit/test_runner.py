@@ -295,6 +295,26 @@ class TestRunJobs:
         assert fresh["n"] == cached["n"]
 
 
+class TestRaiseFailures:
+    def _failed_result(self, error):
+        from repro.runner import JobOutcome, MatrixResult
+        spec = JobSpec(square, overrides={"x": 1.0})
+        return MatrixResult(outcomes=[
+            JobOutcome(spec=spec, key=spec.key, error=error)])
+
+    def test_empty_error_string_reported_with_placeholder(self):
+        # Regression: ''.splitlines()[-1] used to raise IndexError and mask
+        # the real failure report.
+        result = self._failed_result("")
+        with pytest.raises(SimulationError, match="no error detail"):
+            result.raise_failures()
+
+    def test_multiline_error_reports_last_line(self):
+        result = self._failed_result("Traceback ...\nValueError: boom")
+        with pytest.raises(SimulationError, match="ValueError: boom"):
+            result.raise_failures()
+
+
 class TestMetaJson:
     def test_meta_records_label_and_function(self, tmp_path):
         cache = ResultCache(tmp_path)

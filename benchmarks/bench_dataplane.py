@@ -1,0 +1,146 @@
+"""Data-plane benchmark: streamed-retention ensembles versus full history.
+
+Two legs run the *same* 10^5-path Langevin ensemble (same seed, same shard
+split, bit-identical sample paths):
+
+* ``moments`` -- ``retention="moments"``: per-snapshot Welford moments plus
+  final particle states, each shard discarded right after folding.  Runs
+  first so the process peak RSS measured immediately afterwards reflects
+  the streamed working set, which is asserted against a fixed budget;
+* ``full`` -- ``retention="full"`` with the combined path array spilled to
+  a memory-mapped scratch file (``memmap_dir``), the reference the streamed
+  moments are compared against.
+
+The assertions guard *correctness and memory only*: the streamed
+mean/std/overflow must match the full-history reference within ``1e-12``
+(overflow exactly), and the moments leg must stay under the RSS budget.
+Timing is recorded, never asserted, so a loaded CI machine cannot turn a
+measurement into a failure.  Results land in ``BENCH_dataplane.json`` at
+the repository root.  Pass ``--smoke`` (the CI perf-smoke setting) for a
+reduced configuration.
+"""
+
+import argparse
+import json
+import resource
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro import SystemParameters
+from repro.control.jrj import jrj_from_parameters
+from repro.stochastic.ensemble import run_ensemble
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+OUTPUT_PATH = REPO_ROOT / "BENCH_dataplane.json"
+
+#: Peak-RSS budget for the moments leg, in MiB.  The streamed working set
+#: is one shard's path block (~60 MiB at the full configuration) plus the
+#: accumulators; the budget leaves headroom for the interpreter and numpy
+#: but sits far below the ~2 GiB the full path array would need in RAM.
+RSS_BUDGET_MIB = 512
+
+
+def _peak_rss_mib() -> float:
+    """Process peak RSS in MiB (``ru_maxrss`` is KiB on Linux)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def _run_leg(retention: str, params, control, *, t_end, dt, n_paths,
+             n_shards, seed, memmap_dir: Optional[str]) -> dict:
+    started = time.perf_counter()
+    ensemble = run_ensemble(control, params, q0=0.0, rate0=0.5 * params.mu,
+                            t_end=t_end, dt=dt, n_paths=n_paths, seed=seed,
+                            n_shards=n_shards, retention=retention,
+                            memmap_dir=memmap_dir)
+    elapsed = time.perf_counter() - started
+    threshold = 2.0 * params.q_target
+    return {
+        "ensemble": ensemble,
+        "seconds": round(elapsed, 4),
+        "mean_queue": float(ensemble.mean_queue_series[-1]),
+        "std_queue": float(ensemble.std_queue_series[-1]),
+        "overflow_probability":
+            float(ensemble.overflow_probability(threshold)),
+    }
+
+
+def test_dataplane(smoke: Optional[bool] = None):
+    if smoke is None:
+        smoke = "--smoke" in sys.argv
+    n_paths = 20_000 if smoke else 100_000
+    t_end = 10.0 if smoke else 30.0
+    dt = 0.05
+    n_shards = 32
+    seed = 1991
+    params = SystemParameters(mu=1.0, q_target=10.0, c0=0.05, c1=0.2,
+                              sigma=0.5)
+    control = jrj_from_parameters(params)
+
+    with tempfile.TemporaryDirectory(prefix="bench-dataplane-") as scratch:
+        # Moments leg first: the peak RSS taken right after it reflects the
+        # streamed working set, before the full-history leg touches pages.
+        moments = _run_leg("moments", params, control, t_end=t_end, dt=dt,
+                           n_paths=n_paths, n_shards=n_shards, seed=seed,
+                           memmap_dir=None)
+        peak_rss = _peak_rss_mib()
+        assert peak_rss < RSS_BUDGET_MIB, (
+            f"moments-mode peak RSS {peak_rss:.0f} MiB exceeds the "
+            f"{RSS_BUDGET_MIB} MiB budget")
+
+        full = _run_leg("full", params, control, t_end=t_end, dt=dt,
+                        n_paths=n_paths, n_shards=n_shards, seed=seed,
+                        memmap_dir=scratch)
+
+        # Differential gates: streamed statistics against the full series.
+        full_mean = full["ensemble"].mean_queue_series
+        full_std = full["ensemble"].std_queue_series
+        mom_mean = moments["ensemble"].mean_queue_series
+        mom_std = moments["ensemble"].std_queue_series
+        scale = max(1.0, float(np.max(np.abs(full_mean))))
+        mean_err = float(np.max(np.abs(mom_mean - full_mean))) / scale
+        std_err = float(np.max(np.abs(mom_std - full_std))) / max(
+            1.0, float(np.max(full_std)))
+        assert mean_err <= 1e-12, f"mean series drift {mean_err:.3e}"
+        assert std_err <= 1e-12, f"std series drift {std_err:.3e}"
+        # Final particle states are carried verbatim in moments mode, so
+        # the final-time samples -- and the overflow fraction -- are exact.
+        assert np.array_equal(moments["ensemble"].final_queue_samples(),
+                              full["ensemble"].final_queue_samples())
+        assert moments["overflow_probability"] == \
+            full["overflow_probability"]
+
+    full_bytes = full["ensemble"].paths.paths.nbytes
+    record = {
+        "benchmark": "dataplane",
+        "smoke": smoke,
+        "n_paths": n_paths,
+        "n_shards": n_shards,
+        "t_end": t_end,
+        "dt": dt,
+        "peak_rss_mib": round(peak_rss, 1),
+        "rss_budget_mib": RSS_BUDGET_MIB,
+        "full_path_array_mib": round(full_bytes / 2 ** 20, 1),
+        "max_mean_rel_error": mean_err,
+        "max_std_rel_error": std_err,
+        "legs": {
+            name: {key: leg[key] for key in
+                   ("seconds", "mean_queue", "std_queue",
+                    "overflow_probability")}
+            for name, leg in (("moments", moments), ("full", full))
+        },
+    }
+    OUTPUT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced configuration for CI smoke runs")
+    arguments = parser.parse_args()
+    test_dataplane(smoke=arguments.smoke)

@@ -31,13 +31,13 @@ def test_fig1_queue_length_trajectory(benchmark):
                         times, queue, x_label="time", y_label="queue",
                         max_points=30))
     print(format_key_values("E1 summary", {
-        "time-average queue": result.mean_queue_length,
+        "time-average queue": result.mean_queue,
         "target queue": 10.0,
         "utilization": result.utilization(),
     }))
 
     # Shape checks: the queue fluctuates around the target and the link is
     # essentially fully used.
-    assert 3.0 < result.mean_queue_length < 20.0
+    assert 3.0 < result.mean_queue < 20.0
     assert result.utilization() > 0.85
     assert np.max(queue) > np.min(queue)

@@ -51,9 +51,9 @@ def test_fp_density_evolution_and_monte_carlo_check(benchmark, noisy_params,
     comparison = compare_with_density(ensemble, fp)
     print(format_key_values("E4: PDE versus Langevin ensemble", {
         "FP mean queue": fp.final_moments.mean_q,
-        "MC mean queue": float(ensemble.mean_queue[-1]),
+        "MC mean queue": float(ensemble.mean_queue_series[-1]),
         "FP std queue": fp.final_moments.std_q,
-        "MC std queue": float(ensemble.std_queue[-1]),
+        "MC std queue": float(ensemble.std_queue_series[-1]),
         "marginal L1 distance": comparison["marginal_l1_distance"],
     }))
 

@@ -58,13 +58,13 @@ def test_fp_vs_fluid_vs_des(benchmark, bench_grid):
         },
         {
             "model": "Langevin Monte-Carlo",
-            "mean queue": float(ensemble.mean_queue[-1]),
-            "queue std": float(ensemble.std_queue[-1]),
+            "mean queue": float(ensemble.mean_queue_series[-1]),
+            "queue std": float(ensemble.std_queue_series[-1]),
             "P(Q > 20)": ensemble.overflow_probability(20.0),
         },
         {
             "model": "packet-level simulation",
-            "mean queue": packet.mean_queue_length,
+            "mean queue": packet.mean_queue,
             "queue std": "n/a",
             "P(Q > 20)": "n/a",
         },
@@ -76,7 +76,7 @@ def test_fp_vs_fluid_vs_des(benchmark, bench_grid):
     # Mean behaviour agrees across substrates; only the stochastic models
     # carry spread information, which is the paper's point.
     assert comparison.mean_queue_rmse < 3.0
-    assert abs(fp.final_moments.mean_q - float(ensemble.mean_queue[-1])) < 1.5
-    assert abs(fp.final_moments.mean_q - packet.mean_queue_length) < 5.0
+    assert abs(fp.final_moments.mean_q - float(ensemble.mean_queue_series[-1])) < 1.5
+    assert abs(fp.final_moments.mean_q - packet.mean_queue) < 5.0
     assert fp.final_moments.std_q > 0.5
     assert 0.0 <= comparison.overflow_probability <= 1.0

@@ -55,7 +55,7 @@ def test_grid_refinement_convergence(benchmark, noisy_params, jrj_control):
     reference = run_ensemble(jrj_control, noisy_params, q0=0.0, rate0=0.5,
                              t_end=120.0, dt=0.02, n_paths=2000,
                              rng=np.random.default_rng(17))
-    mc_mean = float(reference.mean_queue[-1])
+    mc_mean = float(reference.mean_queue_series[-1])
 
     rows = [
         {

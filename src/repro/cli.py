@@ -35,6 +35,12 @@ top of those, the :mod:`repro.runner` orchestration layer adds:
 * ``--jobs N``, ``--no-cache`` and ``--cache-dir PATH`` on the experiment
   sub-commands above, which route their evaluations through the same
   runner (``delay-sweep --jobs 4`` runs one worker process per delay);
+* ``repro ensemble`` -- Langevin ensemble of the stochastic model with
+  final-time queue statistics; together with ``repro run`` and
+  ``repro design sweep`` it accepts ``--retention {full,moments,none}``
+  and ``--memmap-dir PATH``, selecting the trace data plane's history
+  policy (full per-sample history, streamed constant-memory accumulators,
+  or counters only -- see ``docs/dataplane.md``);
 * fault tolerance for long campaigns (see ``docs/robustness.md``):
   ``--retries N`` re-executes transiently failed jobs with deterministic
   backoff, ``--timeout SECONDS`` kills and retries wedged jobs, and
@@ -70,6 +76,7 @@ from .runner.experiments import (
     available_matrices,
     delay_point,
     density_point,
+    ensemble_point,
     fairness_point,
     get_matrix,
     multihop_point,
@@ -116,6 +123,19 @@ def _add_runner_options(parser: argparse.ArgumentParser) -> None:
                         metavar="SECONDS",
                         help="per-job wall-clock budget; exceeded jobs are "
                              "killed and retried (needs --jobs > 1)")
+
+
+def _add_dataplane_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--retention", choices=["full", "moments", "none"],
+                        default="full",
+                        help="trace/path history policy: 'full' keeps every "
+                             "recorded sample, 'moments' streams constant-"
+                             "memory accumulators, 'none' keeps counters "
+                             "only (default full; see docs/dataplane.md)")
+    parser.add_argument("--memmap-dir", default=None, metavar="PATH",
+                        help="spill full-history arrays to memory-mapped "
+                             "scratch files under PATH instead of RAM "
+                             "(retention=full only)")
 
 
 def _cache_from(args: argparse.Namespace) -> Optional[ResultCache]:
@@ -219,11 +239,29 @@ def build_parser() -> argparse.ArgumentParser:
     multihop.add_argument("--service-rate", type=float, default=10.0,
                           help="per-node service rate (default 10)")
 
+    ensemble = subparsers.add_parser(
+        "ensemble", help="Langevin ensemble of the stochastic model "
+                         "(Equation 12); final-time queue statistics")
+    _add_common_parameters(ensemble)
+    _add_runner_options(ensemble)
+    _add_dataplane_options(ensemble)
+    ensemble.add_argument("--sigma", type=float, default=0.5,
+                          help="diffusion coefficient (default 0.5)")
+    ensemble.add_argument("--t-end", type=float, default=60.0,
+                          help="integration horizon (default 60)")
+    ensemble.add_argument("--n-paths", type=int, default=500,
+                          help="sample paths in the ensemble (default 500)")
+    ensemble.add_argument("--dt", type=float, default=0.02,
+                          help="Euler-Maruyama step (default 0.02)")
+    ensemble.add_argument("--seed", type=int, default=1991,
+                          help="ensemble master seed (default 1991)")
+
     run = subparsers.add_parser(
         "run", help="run a named experiment matrix through the parallel "
                     "runner (see --list)")
     _add_common_parameters(run)
     _add_runner_options(run)
+    _add_dataplane_options(run)
     run.add_argument("matrix", nargs="?", default=None,
                      help="matrix name (e.g. density-grid); see --list")
     run.add_argument("--list", action="store_true", dest="list_matrices",
@@ -247,6 +285,7 @@ def build_parser() -> argparse.ArgumentParser:
         "design", help="gain design: stationary solves and objective sweeps")
     _add_common_parameters(design)
     _add_runner_options(design)
+    _add_dataplane_options(design)
     design.add_argument("action", choices=["stationary", "sweep"],
                         help="stationary: solve L p = 0 directly; "
                              "sweep: rank a (c0, c1, q_target, mu) grid")
@@ -404,6 +443,28 @@ def _run_multihop(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_ensemble(args: argparse.Namespace) -> int:
+    params = _system_parameters(args)
+    overrides = {"t_end": args.t_end, "n_paths": args.n_paths, "dt": args.dt}
+    # Default data-plane knobs are omitted so the job's cache key matches
+    # runs from before the knobs existed (and the ensemble-grid matrix).
+    if args.retention != "full":
+        overrides["retention"] = args.retention
+    if args.memmap_dir is not None:
+        overrides["memmap_dir"] = args.memmap_dir
+    job = JobSpec(ensemble_point, params=params, seed=args.seed,
+                  overrides=overrides)
+    value = _run_matrix([job], args).outcomes[0].value
+    print(format_key_values(
+        f"Langevin ensemble at t={args.t_end:g} "
+        f"({args.n_paths} paths, retention={args.retention})", {
+            "mean queue": value["mean_queue"],
+            "std queue": value["std_queue"],
+            "P(Q > 2 q_target)": value["overflow_probability"],
+        }))
+    return 0
+
+
 def _run_run(args: argparse.Namespace) -> int:
     if args.list_matrices:
         rows = [{"matrix": definition.name,
@@ -417,7 +478,16 @@ def _run_run(args: argparse.Namespace) -> int:
 
     params = _system_parameters(args)
     definition = get_matrix(args.matrix)
-    jobs = definition.build(params, args.seed, args.t_end)
+    if definition.supports_retention:
+        jobs = definition.build(params, args.seed, args.t_end,
+                                retention=args.retention,
+                                memmap_dir=args.memmap_dir)
+    else:
+        if args.retention != "full" or args.memmap_dir is not None:
+            raise ConfigurationError(
+                f"matrix {definition.name!r} does not support "
+                "--retention/--memmap-dir (its jobs keep no trace history)")
+        jobs = definition.build(params, args.seed, args.t_end)
     journal = _journal_for(args, definition.name, jobs)
 
     started = time.perf_counter()
@@ -528,7 +598,8 @@ def _run_design_sweep(args: argparse.Namespace,
         top_k=args.top_k, chunk_size=args.chunk_size,
         t_end=args.t_end if args.t_end is not None else 150.0,
         dt=args.dt if args.dt is not None else 0.1,
-        backend=args.backend)
+        backend=args.backend, retention=args.retention,
+        memmap_dir=args.memmap_dir)
     elapsed = time.perf_counter() - started
 
     def _row(gain) -> dict:
@@ -549,6 +620,7 @@ def _run_design_sweep(args: argparse.Namespace,
     print(format_key_values("sweep summary", {
         "points": result.n_points,
         "chunks": result.chunks,
+        "retention": result.retention,
         "refined (stationary solves)": result.n_refined,
         "coarse horizon": result.t_end,
         "wall clock [s]": round(elapsed, 3),
@@ -559,6 +631,10 @@ def _run_design_sweep(args: argparse.Namespace,
 def _run_design(args: argparse.Namespace) -> int:
     params = _system_parameters(args)
     if args.action == "stationary":
+        if args.retention != "full" or args.memmap_dir is not None:
+            raise ConfigurationError(
+                "--retention/--memmap-dir apply to 'design sweep' only "
+                "(the stationary solve keeps no trajectory history)")
         return _run_design_stationary(args, params)
     return _run_design_sweep(args, params)
 
@@ -604,6 +680,7 @@ _COMMANDS = {
     "theorem1": _run_theorem1,
     "density": _run_density,
     "delay-sweep": _run_delay_sweep,
+    "ensemble": _run_ensemble,
     "fairness": _run_fairness,
     "multihop": _run_multihop,
     "run": _run_run,

@@ -1,0 +1,32 @@
+"""Columnar trace storage and streaming statistics (the data plane).
+
+This package is the memory-bounded data plane under the simulators and
+campaign runner: columnar trace storage (:class:`ColumnarTrace`),
+streaming accumulators with exact parallel merges
+(:class:`StreamingMoments`, :class:`StreamingHistogram`,
+:class:`TimeWeightedMoments`), the unified :class:`TraceSink` protocol
+with its streaming implementations, and the ``retention`` policy
+vocabulary threaded through ``repro run`` / ``repro ensemble`` /
+``repro design``.  See ``docs/dataplane.md``.
+"""
+
+from .accumulators import (
+    StreamingHistogram,
+    StreamingMoments,
+    TimeWeightedMoments,
+)
+from .columnar import ColumnarTrace
+from .retention import RETENTION_POLICIES, validate_retention
+from .sink import MomentsTraceSink, NullTraceSink, TraceSink
+
+__all__ = [
+    "ColumnarTrace",
+    "StreamingMoments",
+    "StreamingHistogram",
+    "TimeWeightedMoments",
+    "TraceSink",
+    "NullTraceSink",
+    "MomentsTraceSink",
+    "RETENTION_POLICIES",
+    "validate_retention",
+]

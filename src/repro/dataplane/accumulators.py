@@ -1,0 +1,349 @@
+"""Streaming accumulators with exact parallel (Chan) merges.
+
+These are the O(1)-memory backbone of the columnar data plane: ensembles,
+DES runs and map-reduce campaigns fold their samples into accumulator
+*states* instead of retaining full histories, and shards combine those
+states with the exact pairwise update formulas of Chan, Golub & LeVeque
+(1979).  Every accumulator therefore supports three operations with the
+same semantics:
+
+* ``update`` / ``update_batch`` -- fold samples in,
+* ``merge`` -- combine two accumulator states (associative, commutative up
+  to floating-point rounding; histograms and counters merge exactly),
+* ``to_dict`` / ``from_dict`` -- a JSON-friendly state round trip, so a
+  state can cross process boundaries, live in the result cache and be
+  replayed bit-identically from the campaign journal.
+
+Shard- and order-insensitivity of the merges is pinned by the Hypothesis
+property tests in ``tests/property/test_property_dataplane.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import AnalysisError, ConfigurationError
+from ..numerics.stats import WeightedStatistics
+
+__all__ = [
+    "StreamingMoments",
+    "StreamingHistogram",
+    "TimeWeightedMoments",
+]
+
+Shape = Union[int, Tuple[int, ...]]
+
+
+class StreamingMoments:
+    """Elementwise Welford mean/variance/min/max over samples of one shape.
+
+    The accumulator holds per-element state for samples of a fixed
+    ``shape`` (scalars by default), so one instance can stream e.g. the
+    per-snapshot-time moments of a whole ensemble: with
+    ``shape=(n_times, dim)`` each ``update_batch(paths, axis=1)`` folds a
+    block of particles into the running per-time statistics.
+
+    ``variance`` is the population variance (``ddof=0``, matching
+    :func:`numpy.var`); ``sample_variance`` applies Bessel's correction
+    (matching :class:`~repro.numerics.stats.RunningStatistics`).
+    """
+
+    __slots__ = ("count", "mean", "m2", "minimum", "maximum")
+
+    def __init__(self, shape: Shape = ()):
+        self.count = 0
+        self.mean = np.zeros(shape, dtype=float)
+        self.m2 = np.zeros(shape, dtype=float)
+        self.minimum = np.full(shape, np.inf, dtype=float)
+        self.maximum = np.full(shape, -np.inf, dtype=float)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Shape of one sample."""
+        return self.mean.shape
+
+    def update(self, sample) -> None:
+        """Fold one sample (an array of :attr:`shape`, or a scalar)."""
+        sample = np.asarray(sample, dtype=float)
+        if sample.shape != self.shape:
+            raise AnalysisError(
+                f"sample shape {sample.shape} does not match accumulator "
+                f"shape {self.shape}")
+        self.count += 1
+        delta = sample - self.mean
+        self.mean = self.mean + delta / self.count
+        self.m2 = self.m2 + delta * (sample - self.mean)
+        self.minimum = np.minimum(self.minimum, sample)
+        self.maximum = np.maximum(self.maximum, sample)
+
+    def update_batch(self, samples, axis: int = 0) -> None:
+        """Fold a whole block of samples stacked along *axis*.
+
+        The block's count/mean/M2 are computed vectorised and combined
+        with the running state by one exact Chan merge, so folding a
+        million-particle shard costs one pass over the block and O(shape)
+        memory -- no per-sample Python loop.
+        """
+        samples = np.asarray(samples, dtype=float)
+        if samples.ndim != len(self.shape) + 1:
+            raise AnalysisError(
+                f"batch must stack samples of shape {self.shape} along one "
+                f"axis, got a block of shape {samples.shape}")
+        n = samples.shape[axis]
+        if n == 0:
+            return
+        block = StreamingMoments(self.shape)
+        block.count = int(n)
+        block.mean = np.mean(samples, axis=axis)
+        block.m2 = np.var(samples, axis=axis) * n
+        block.minimum = np.min(samples, axis=axis)
+        block.maximum = np.max(samples, axis=axis)
+        self.merge(block)
+
+    def merge(self, other: "StreamingMoments") -> "StreamingMoments":
+        """Fold *other*'s state into this one (exact Chan parallel merge)."""
+        if other.shape != self.shape:
+            raise AnalysisError(
+                f"cannot merge accumulators of shapes {self.shape} and "
+                f"{other.shape}")
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            # Adopt the other state verbatim so a single-shard fold is
+            # bit-identical to the shard's own statistics.
+            self.count = other.count
+            self.mean = other.mean.copy()
+            self.m2 = other.m2.copy()
+            self.minimum = other.minimum.copy()
+            self.maximum = other.maximum.copy()
+            return self
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self.mean = self.mean + delta * (other.count / total)
+        self.m2 = (self.m2 + other.m2
+                   + delta * delta * (self.count * other.count / total))
+        self.count = total
+        self.minimum = np.minimum(self.minimum, other.minimum)
+        self.maximum = np.maximum(self.maximum, other.maximum)
+        return self
+
+    @property
+    def variance(self) -> np.ndarray:
+        """Population variance (``ddof=0``), zeros when empty."""
+        if self.count == 0:
+            return np.zeros(self.shape)
+        return self.m2 / self.count
+
+    @property
+    def sample_variance(self) -> np.ndarray:
+        """Unbiased sample variance (zeros with fewer than two samples)."""
+        if self.count < 2:
+            return np.zeros(self.shape)
+        return self.m2 / (self.count - 1)
+
+    @property
+    def std(self) -> np.ndarray:
+        """Population standard deviation."""
+        return np.sqrt(self.variance)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly state (arrays as nested lists)."""
+        return {
+            "__accumulator__": "StreamingMoments",
+            "shape": list(self.shape),
+            "count": int(self.count),
+            "mean": self.mean.tolist(),
+            "m2": self.m2.tolist(),
+            "minimum": self.minimum.tolist(),
+            "maximum": self.maximum.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StreamingMoments":
+        """Rebuild a state from :meth:`to_dict` output (exact round trip)."""
+        _check_tag(data, "StreamingMoments")
+        shape = tuple(data["shape"])
+        state = cls(shape)
+        state.count = int(data["count"])
+        state.mean = np.asarray(data["mean"], dtype=float).reshape(shape)
+        state.m2 = np.asarray(data["m2"], dtype=float).reshape(shape)
+        state.minimum = np.asarray(data["minimum"],
+                                   dtype=float).reshape(shape)
+        state.maximum = np.asarray(data["maximum"],
+                                   dtype=float).reshape(shape)
+        return state
+
+    def __repr__(self) -> str:
+        return (f"StreamingMoments(shape={self.shape}, count={self.count})")
+
+
+class StreamingHistogram:
+    """Fixed-bin streaming histogram with exact (integer-count) merges.
+
+    Bin edges are fixed at construction; samples outside the edges are
+    tallied in ``underflow`` / ``overflow`` rather than silently dropped,
+    so merged shard histograms account for every sample.  Merging adds
+    counts and is therefore *exactly* order- and shard-insensitive.
+    """
+
+    __slots__ = ("edges", "counts", "underflow", "overflow")
+
+    def __init__(self, edges):
+        edges = np.asarray(edges, dtype=float)
+        if edges.ndim != 1 or edges.size < 2:
+            raise ConfigurationError(
+                "histogram needs a 1-D array of at least two bin edges")
+        if np.any(np.diff(edges) <= 0.0):
+            raise ConfigurationError(
+                "histogram bin edges must be strictly increasing")
+        self.edges = edges
+        self.counts = np.zeros(edges.size - 1, dtype=np.int64)
+        self.underflow = 0
+        self.overflow = 0
+
+    @property
+    def total(self) -> int:
+        """All samples seen, including under/overflow."""
+        return int(self.counts.sum()) + self.underflow + self.overflow
+
+    def update(self, samples) -> None:
+        """Bin a batch of samples (scalars or any-shape arrays)."""
+        samples = np.asarray(samples, dtype=float).ravel()
+        if samples.size == 0:
+            return
+        counts, _ = np.histogram(samples, bins=self.edges)
+        self.counts += counts
+        self.underflow += int(np.count_nonzero(samples < self.edges[0]))
+        # np.histogram treats the final edge as inclusive; count strictly
+        # beyond it as overflow to match.
+        self.overflow += int(np.count_nonzero(samples > self.edges[-1]))
+
+    def merge(self, other: "StreamingHistogram") -> "StreamingHistogram":
+        """Add *other*'s counts into this histogram (edges must match)."""
+        if (other.edges.shape != self.edges.shape
+                or not np.array_equal(other.edges, self.edges)):
+            raise AnalysisError(
+                "cannot merge histograms with different bin edges")
+        self.counts += other.counts
+        self.underflow += other.underflow
+        self.overflow += other.overflow
+        return self
+
+    def density(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(centers, density)`` normalised over the binned range.
+
+        Matches :func:`repro.numerics.stats.empirical_density` semantics:
+        samples outside the edges are excluded from the normalisation.
+        """
+        total = float(self.counts.sum())
+        if total == 0.0:
+            raise AnalysisError("no samples fell inside the histogram range")
+        widths = np.diff(self.edges)
+        centers = 0.5 * (self.edges[:-1] + self.edges[1:])
+        return centers, self.counts / (total * widths)
+
+    def tail_fraction(self, threshold: float) -> float:
+        """Fraction of all samples strictly above *threshold*.
+
+        *threshold* must coincide with a bin edge (within one part in
+        10^12), because the histogram cannot split a bin after the fact.
+        """
+        if self.total == 0:
+            raise AnalysisError("histogram is empty")
+        matches = np.isclose(self.edges, threshold, rtol=1e-12, atol=1e-12)
+        if not np.any(matches):
+            raise AnalysisError(
+                f"threshold {threshold:g} is not a histogram bin edge; "
+                "tail fractions are exact only at edges")
+        index = int(np.argmax(matches))
+        above = int(self.counts[index:].sum()) + self.overflow
+        return above / self.total
+
+    def to_dict(self) -> dict:
+        """JSON-friendly state (arrays as lists)."""
+        return {
+            "__accumulator__": "StreamingHistogram",
+            "edges": self.edges.tolist(),
+            "counts": self.counts.tolist(),
+            "underflow": int(self.underflow),
+            "overflow": int(self.overflow),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StreamingHistogram":
+        """Rebuild a state from :meth:`to_dict` output (exact round trip)."""
+        _check_tag(data, "StreamingHistogram")
+        state = cls(np.asarray(data["edges"], dtype=float))
+        state.counts = np.asarray(data["counts"], dtype=np.int64)
+        state.underflow = int(data["underflow"])
+        state.overflow = int(data["overflow"])
+        return state
+
+    def __repr__(self) -> str:
+        return (f"StreamingHistogram(bins={self.counts.size}, "
+                f"total={self.total})")
+
+
+class TimeWeightedMoments(WeightedStatistics):
+    """:class:`~repro.numerics.stats.WeightedStatistics` plus merge/serde.
+
+    The update arithmetic is inherited unchanged, so a streamed
+    time-average folds the exact float sequence the full-history
+    ``TimeSeriesTrace.time_average`` would -- bit-identical results when
+    the same ``(value, duration)`` pairs arrive in the same order.  The
+    merge is the weighted Chan combination.
+    """
+
+    def merge(self, other: "TimeWeightedMoments") -> "TimeWeightedMoments":
+        """Fold *other*'s state into this one (weighted Chan merge)."""
+        if other._weight_sum == 0.0:
+            return self
+        if self._weight_sum == 0.0:
+            self._weight_sum = other._weight_sum
+            self._mean = other._mean
+            self._m2 = other._m2
+            return self
+        total = self._weight_sum + other._weight_sum
+        delta = other._mean - self._mean
+        self._mean = self._mean + delta * (other._weight_sum / total)
+        self._m2 = (self._m2 + other._m2
+                    + delta * delta
+                    * (self._weight_sum * other._weight_sum / total))
+        self._weight_sum = total
+        return self
+
+    def to_dict(self) -> dict:
+        """JSON-friendly state."""
+        return {
+            "__accumulator__": "TimeWeightedMoments",
+            "weight_sum": float(self._weight_sum),
+            "mean": float(self._mean),
+            "m2": float(self._m2),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TimeWeightedMoments":
+        """Rebuild a state from :meth:`to_dict` output (exact round trip)."""
+        _check_tag(data, "TimeWeightedMoments")
+        state = cls()
+        state._weight_sum = float(data["weight_sum"])
+        state._mean = float(data["mean"])
+        state._m2 = float(data["m2"])
+        return state
+
+    def copy(self) -> "TimeWeightedMoments":
+        """Independent copy of the current state."""
+        return TimeWeightedMoments.from_dict(self.to_dict())
+
+    def __repr__(self) -> str:
+        return (f"TimeWeightedMoments(weight={self._weight_sum:g}, "
+                f"mean={self._mean:g})")
+
+
+def _check_tag(data: dict, expected: str) -> None:
+    tag = data.get("__accumulator__")
+    if tag != expected:
+        raise ConfigurationError(
+            f"cannot revive accumulator state tagged {tag!r} as {expected}")

@@ -1,0 +1,28 @@
+"""Retention policy names shared by the simulators, ensembles and CLI.
+
+One vocabulary everywhere:
+
+* ``"full"`` -- keep complete histories (the pre-dataplane behaviour;
+  recorded floats are bit-identical to the list-backed seed).
+* ``"moments"`` -- stream time-weighted / Welford moments, keep no
+  per-sample history.
+* ``"none"`` -- keep only counters and final values; cheapest, for
+  campaigns that read nothing but throughput/loss/overflow summaries.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["RETENTION_POLICIES", "validate_retention"]
+
+RETENTION_POLICIES = ("full", "moments", "none")
+
+
+def validate_retention(retention: str) -> str:
+    """Return *retention* if it names a known policy, else raise."""
+    if retention not in RETENTION_POLICIES:
+        raise ConfigurationError(
+            f"unknown retention policy {retention!r}; choose one of "
+            f"{', '.join(RETENTION_POLICIES)}")
+    return retention

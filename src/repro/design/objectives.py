@@ -33,6 +33,7 @@ from ..analysis.oscillations import oscillation_metrics_batch
 from ..config import ParameterDictMixin, SystemParameters
 from ..control.jrj import JRJControl
 from ..characteristics.trajectory import integrate_characteristic_batch
+from ..dataplane import StreamingMoments
 from ..exceptions import ConfigurationError
 
 __all__ = [
@@ -114,6 +115,20 @@ class GainGridScores:
     def ranking(self) -> np.ndarray:
         """Point indices from best (lowest score) to worst."""
         return np.argsort(self.score, kind="stable")
+
+    def fold_score_moments(self, moments: StreamingMoments
+                           ) -> StreamingMoments:
+        """Fold this chunk's finite combined scores into *moments*.
+
+        The streamed-retention design sweep keeps these running statistics
+        instead of the concatenated score columns; non-finite scores
+        (degenerate gain points) are excluded so they cannot poison the
+        mean/variance.
+        """
+        finite = self.score[np.isfinite(self.score)]
+        if finite.size:
+            moments.update_batch(finite, axis=0)
+        return moments
 
 
 def deployment_unfairness(c0, c1, reference_c0: float, reference_c1: float):

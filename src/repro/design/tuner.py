@@ -22,15 +22,17 @@ design view (responsiveness versus smoothness) — and is exposed through
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..config import GridParameters, ParameterDictMixin, SystemParameters
+from ..dataplane import StreamingMoments, validate_retention
 from ..exceptions import ConfigurationError, ConvergenceError
-from .objectives import (GainGridScores, ObjectiveWeights, score_gain_grid,
-                         combine_score)
+from .objectives import (GainGridScores, ObjectiveWeights, OperatingPointScore,
+                         score_gain_grid, combine_score)
 from .stationary import solve_stationary
 
 __all__ = [
@@ -68,7 +70,15 @@ class RankedGain(ParameterDictMixin):
 
 @dataclass
 class GainSweepResult:
-    """Outcome of one coarse-to-fine gain sweep."""
+    """Outcome of one coarse-to-fine gain sweep.
+
+    ``score_stats`` summarises the finite combined scores of the whole
+    grid (count/mean/std/min/max from a streaming fold -- identical under
+    every retention policy); ``retention`` records the policy the sweep
+    ran under (``"moments"``/``"none"`` never materialise the full score
+    columns, so their working set is O(top_k + front) instead of
+    O(n_points)).
+    """
 
     ranked: List[RankedGain]
     pareto: List[RankedGain]
@@ -78,6 +88,8 @@ class GainSweepResult:
     dt: float
     weights: ObjectiveWeights
     chunks: int = field(default=0)
+    retention: str = "full"
+    score_stats: Optional[dict] = None
 
     @property
     def best(self) -> RankedGain:
@@ -123,9 +135,7 @@ def pareto_front_indices(amplitude: np.ndarray, relaxation: np.ndarray
     return np.asarray(front, dtype=int)
 
 
-def _ranked_from_scores(scores: GainGridScores, index: int, rank: int
-                        ) -> RankedGain:
-    point = scores.point(index)
+def _ranked_from_point(point: OperatingPointScore, rank: int) -> RankedGain:
     return RankedGain(rank=rank, c0=point.c0, c1=point.c1,
                       q_target=point.q_target, mu=point.mu,
                       score=point.score,
@@ -136,20 +146,47 @@ def _ranked_from_scores(scores: GainGridScores, index: int, rank: int
                       unfairness=point.unfairness)
 
 
-def _concatenate_scores(chunks: Sequence[GainGridScores]) -> GainGridScores:
+def _concatenate_column(chunks: Sequence[np.ndarray],
+                        memmap_dir: Optional[str]) -> np.ndarray:
+    if memmap_dir is None:
+        return np.concatenate(chunks)
+    import os
+    import tempfile
+    total = sum(chunk.size for chunk in chunks)
+    fd, path = tempfile.mkstemp(suffix=".col", dir=memmap_dir)
+    try:
+        os.ftruncate(fd, max(total, 1) * 8)
+        column = np.memmap(path, dtype=np.float64, mode="r+", shape=(total,))
+    finally:
+        os.close(fd)
+    os.unlink(path)
+    offset = 0
+    for chunk in chunks:
+        column[offset:offset + chunk.size] = chunk
+        offset += chunk.size
+    return column
+
+
+def _concatenate_scores(chunks: Sequence[GainGridScores],
+                        memmap_dir: Optional[str] = None) -> GainGridScores:
+    def cat(name: str) -> np.ndarray:
+        return _concatenate_column([getattr(c, name) for c in chunks],
+                                   memmap_dir)
     return GainGridScores(
-        c0=np.concatenate([c.c0 for c in chunks]),
-        c1=np.concatenate([c.c1 for c in chunks]),
-        q_target=np.concatenate([c.q_target for c in chunks]),
-        mu=np.concatenate([c.mu for c in chunks]),
-        oscillation_amplitude=np.concatenate(
-            [c.oscillation_amplitude for c in chunks]),
-        oscillation_period=np.concatenate(
-            [c.oscillation_period for c in chunks]),
-        relaxation_time=np.concatenate([c.relaxation_time for c in chunks]),
-        queue_error=np.concatenate([c.queue_error for c in chunks]),
-        unfairness=np.concatenate([c.unfairness for c in chunks]),
-        score=np.concatenate([c.score for c in chunks]))
+        c0=cat("c0"), c1=cat("c1"), q_target=cat("q_target"), mu=cat("mu"),
+        oscillation_amplitude=cat("oscillation_amplitude"),
+        oscillation_period=cat("oscillation_period"),
+        relaxation_time=cat("relaxation_time"),
+        queue_error=cat("queue_error"), unfairness=cat("unfairness"),
+        score=cat("score"))
+
+
+def _score_sort_key(candidate: Tuple[int, OperatingPointScore]):
+    """Sort key matching a stable argsort over scores (NaN last)."""
+    index, point = candidate
+    if math.isnan(point.score):
+        return (1, 0.0, index)
+    return (0, point.score, index)
 
 
 def _refine_grid(q_target: float, spread: float = 0.0) -> GridParameters:
@@ -182,7 +219,9 @@ def design_gains(params: SystemParameters,
                  refine: Optional[bool] = None,
                  refine_grid: Optional[GridParameters] = None,
                  refine_dt: Optional[float] = None,
-                 backend: Optional[str] = None) -> GainSweepResult:
+                 backend: Optional[str] = None,
+                 retention: str = "full",
+                 memmap_dir: Optional[str] = None) -> GainSweepResult:
     """Run a coarse-to-fine gain-design sweep.
 
     Parameters
@@ -207,12 +246,25 @@ def design_gains(params: SystemParameters,
         degenerate point mass the characteristics already resolve).
     refine_grid, refine_dt, backend:
         Stationary-solve discretisation overrides for the refinement stage.
+    retention:
+        ``"full"`` keeps the whole grid's score columns (today's
+        behaviour; O(n_points) memory).  ``"moments"`` streams each chunk
+        into a running top-k, a running Pareto front (the union of chunk
+        fronts, compacted each chunk, provably equals the full front) and
+        streaming score moments -- the working set no longer grows with
+        the grid.  ``"none"`` additionally skips the Pareto front.  The
+        ranked/pareto outputs are identical between ``"full"`` and
+        ``"moments"``.
+    memmap_dir:
+        Under ``retention="full"``, back the concatenated score columns
+        with ``numpy.memmap`` files in this directory.
 
     Raises
     ------
     ConfigurationError
         On empty axes or non-positive sizes.
     """
+    validate_retention(retention)
     if top_k < 1:
         raise ConfigurationError("top_k must be at least 1")
     if chunk_size < 1:
@@ -239,24 +291,69 @@ def design_gains(params: SystemParameters,
     n_points = c0_flat.size
     weights = weights if weights is not None else ObjectiveWeights()
 
-    chunk_scores = []
+    keep_columns = retention == "full"
+    track_pareto = retention != "none"
+    score_moments = StreamingMoments()
+    chunk_scores: List[GainGridScores] = []
+    top_candidates: List[Tuple[int, OperatingPointScore]] = []
+    pareto_candidates: List[Tuple[int, OperatingPointScore]] = []
+    n_chunks = 0
     for start in range(0, n_points, chunk_size):
         stop = min(start + chunk_size, n_points)
-        chunk_scores.append(score_gain_grid(
+        chunk = score_gain_grid(
             params, c0_flat[start:stop], c1_flat[start:stop],
             q_target_flat[start:stop], mu_flat[start:stop],
-            weights=weights, t_end=t_end, dt=dt))
-    scores = _concatenate_scores(chunk_scores)
+            weights=weights, t_end=t_end, dt=dt)
+        n_chunks += 1
+        chunk.fold_score_moments(score_moments)
+        if keep_columns:
+            chunk_scores.append(chunk)
+            continue
+        # Streamed retention: merge this chunk's leaders into the running
+        # top-k (the global top-k is a subset of the union of chunk
+        # top-ks) and its Pareto front into the running front (a globally
+        # non-dominated point is non-dominated in its own chunk, so the
+        # union of chunk fronts contains the global front).  The sort key
+        # mirrors a stable argsort over global indices, so ties resolve
+        # exactly as in the full-retention path.
+        for local in chunk.ranking()[:min(top_k, chunk.size)]:
+            top_candidates.append((start + int(local),
+                                   chunk.point(int(local))))
+        top_candidates.sort(key=_score_sort_key)
+        del top_candidates[top_k:]
+        if track_pareto:
+            local_front = pareto_front_indices(chunk.oscillation_amplitude,
+                                               chunk.relaxation_time)
+            pareto_candidates.extend(
+                (start + int(local), chunk.point(int(local)))
+                for local in local_front)
+            amplitude = np.array([p.oscillation_amplitude
+                                  for _, p in pareto_candidates])
+            relaxation = np.array([p.relaxation_time
+                                   for _, p in pareto_candidates])
+            keep = pareto_front_indices(amplitude, relaxation)
+            pareto_candidates = [pareto_candidates[int(i)] for i in keep]
 
-    ranking = scores.ranking()
-    top = ranking[:min(top_k, n_points)]
+    if keep_columns:
+        scores = _concatenate_scores(chunk_scores, memmap_dir)
+        ranking = scores.ranking()
+        top = [(int(index), scores.point(int(index)))
+               for index in ranking[:min(top_k, n_points)]]
+        front_points = [scores.point(int(index)) for index in
+                        pareto_front_indices(scores.oscillation_amplitude,
+                                             scores.relaxation_time)]
+    else:
+        top = top_candidates
+        # After the final compaction the candidates already sit in the
+        # front's canonical increasing-amplitude order.
+        front_points = [point for _, point in pareto_candidates]
+
     do_refine = params.sigma > 0.0 if refine is None else bool(refine)
 
     ranked: List[RankedGain] = []
     n_refined = 0
     if do_refine:
-        for index in top:
-            point = scores.point(int(index))
+        for _, point in top:
             point_params = replace(params, c0=point.c0, c1=point.c1,
                                    q_target=point.q_target, mu=point.mu)
             grid = (refine_grid if refine_grid is not None
@@ -274,7 +371,7 @@ def design_gains(params: SystemParameters,
                         point_params, grid_params=_widened(grid),
                         dt=refine_dt, backend=backend)
                 except ConvergenceError:
-                    ranked.append(_ranked_from_scores(scores, int(index), 0))
+                    ranked.append(_ranked_from_point(point, 0))
                     continue
             n_refined += 1
             queue_error = abs(stationary.moments.mean_q - point.q_target)
@@ -296,13 +393,20 @@ def design_gains(params: SystemParameters,
         ranked = [replace(gain, rank=position)
                   for position, gain in enumerate(ranked)]
     else:
-        ranked = [_ranked_from_scores(scores, int(index), position)
-                  for position, index in enumerate(top)]
+        ranked = [_ranked_from_point(point, position)
+                  for position, (_, point) in enumerate(top)]
 
-    front = [_ranked_from_scores(scores, int(index), position)
-             for position, index in enumerate(pareto_front_indices(
-                 scores.oscillation_amplitude, scores.relaxation_time))]
+    front = [_ranked_from_point(point, position)
+             for position, point in enumerate(front_points)]
 
+    score_stats = {
+        "count": int(score_moments.count),
+        "mean": float(score_moments.mean) if score_moments.count else None,
+        "std": float(score_moments.std) if score_moments.count else None,
+        "min": float(score_moments.minimum) if score_moments.count else None,
+        "max": float(score_moments.maximum) if score_moments.count else None,
+    }
     return GainSweepResult(ranked=ranked, pareto=front, n_points=n_points,
                            n_refined=n_refined, t_end=t_end, dt=dt,
-                           weights=weights, chunks=len(chunk_scores))
+                           weights=weights, chunks=n_chunks,
+                           retention=retention, score_stats=score_stats)

@@ -87,17 +87,25 @@ class MultiHopSimulator:
 
     Accepts the same ``engine`` selector as :class:`~repro.queueing.Simulator`
     (``"fast"`` or ``"reference"``); both engines produce bit-identical
-    traces for a given configuration and seed.
+    traces for a given configuration and seed.  The ``retention`` /
+    ``memmap_dir`` knobs match :class:`~repro.queueing.Simulator`: under
+    ``"moments"`` the per-node mean queues stay exact (streamed
+    time-weighted moments), under ``"none"`` they are reported as NaN.
     """
 
-    def __init__(self, config: MultiHopConfig, engine: str = "fast"):
+    def __init__(self, config: MultiHopConfig, engine: str = "fast",
+                 retention: str = "full",
+                 memmap_dir: Optional[str] = None):
         self.config = config
         self.engine = engine
+        self.retention = retention
+        self.memmap_dir = memmap_dir
         self.events = resolve_engine(engine)()
         self.streams = RandomStreams(config.seed)
         # One trace per node for queue lengths; one global trace for
         # per-connection counters and window series.
-        self.connection_trace = SimulationTrace()
+        self.connection_trace = SimulationTrace(retention=retention,
+                                                memmap_dir=memmap_dir)
         self._node_traces: Dict[str, SimulationTrace] = {}
         self._nodes: Dict[str, BottleneckQueue] = {}
         self._routes: List[Route] = list(config.routes)
@@ -118,7 +126,8 @@ class MultiHopSimulator:
 
     def _build_nodes(self) -> None:
         for node_config in self.config.nodes:
-            trace = SimulationTrace()
+            trace = SimulationTrace(retention=self.retention,
+                                    memmap_dir=self.memmap_dir)
             self._node_traces[node_config.name] = trace
             node = BottleneckQueue(
                 event_queue=self.events,
@@ -225,10 +234,14 @@ class MultiHopSimulator:
             hop_counts[route.source_name] = route.hop_count
             loss_counts[route.source_name] = int(losses.get(index, 0))
 
-        node_mean_queue = {
-            name: trace.queue_length.time_average(0.0, duration)
-            for name, trace in self._node_traces.items()
-        }
+        if self.retention == "none":
+            node_mean_queue = {name: float("nan")
+                               for name in self._node_traces}
+        else:
+            node_mean_queue = {
+                name: trace.queue_length.time_average(0.0, duration)
+                for name, trace in self._node_traces.items()
+            }
         return MultiHopResult(config=self.config, duration=duration,
                               throughputs=throughputs, hop_counts=hop_counts,
                               node_mean_queue=node_mean_queue,

@@ -9,8 +9,9 @@ delays, runs the event loop for the requested horizon and returns a
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -54,9 +55,21 @@ class SimulationResult:
     events_executed: int = 0
 
     @property
-    def mean_queue_length(self) -> float:
-        """Time-average bottleneck queue length over the run."""
+    def mean_queue(self) -> float:
+        """Time-average bottleneck queue length over the run.
+
+        Available under ``retention="full"`` and ``"moments"``; raises
+        :class:`~repro.exceptions.AnalysisError` under ``"none"``.
+        """
         return self.trace.queue_length.time_average(0.0, self.duration)
+
+    @property
+    def mean_queue_length(self) -> float:
+        """Deprecated alias of :attr:`mean_queue`."""
+        warnings.warn(
+            "SimulationResult.mean_queue_length is deprecated; use "
+            "SimulationResult.mean_queue", DeprecationWarning, stacklevel=2)
+        return self.mean_queue
 
     @property
     def total_losses(self) -> int:
@@ -94,13 +107,24 @@ class Simulator:
         (default) or ``"reference"``.  Both engines yield bit-identical
         traces for the same config and seed; the reference engine exists
         for differential tests and the scaling benchmark.
+    retention:
+        Trace retention policy: ``"full"`` keeps every recorded sample
+        (bit-identical to the pre-dataplane behaviour), ``"moments"``
+        streams time-weighted statistics with O(1) memory per series,
+        ``"none"`` keeps only packet counters and last values.
+    memmap_dir:
+        Under ``retention="full"``, spill trace columns to ``numpy.memmap``
+        files in this directory instead of RAM.
     """
 
-    def __init__(self, config: NetworkConfig, engine: str = "fast"):
+    def __init__(self, config: NetworkConfig, engine: str = "fast",
+                 retention: str = "full",
+                 memmap_dir: Optional[str] = None):
         self.config = config
         self.engine = engine
         self.events = resolve_engine(engine)()
-        self.trace = SimulationTrace()
+        self.trace = SimulationTrace(retention=retention,
+                                     memmap_dir=memmap_dir)
         self.streams = RandomStreams(config.seed)
         self._sources: List[Union[RateSource, WindowSource]] = []
         self._ack_channels: Dict[int, FeedbackChannel] = {}

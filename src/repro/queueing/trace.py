@@ -5,16 +5,30 @@ Two layers are provided: :class:`TimeSeriesTrace`, a generic append-only
 :class:`SimulationTrace`, the bundle of series a simulation run produces
 (queue length, per-source sending rate / window, cumulative deliveries and
 losses) plus the derived metrics the experiments need.
+
+Since the columnar data-plane redesign, ``TimeSeriesTrace`` stores its
+samples in a chunk-growing :class:`~repro.dataplane.ColumnarTrace` (two
+contiguous ``float64`` columns instead of boxed-float lists; recorded
+values are bit-identical either way), and ``SimulationTrace`` applies a
+``retention`` policy choosing between full history, streamed time-weighted
+moments, or bare counters for every series it owns.  All three sink kinds
+implement the :class:`~repro.dataplane.TraceSink` protocol, so the
+simulator's hot paths bind ``append`` without knowing the policy.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional, Union
 
 import numpy as np
 
-from ..exceptions import AnalysisError
+from ..dataplane import (
+    ColumnarTrace,
+    MomentsTraceSink,
+    NullTraceSink,
+    validate_retention,
+)
+from ..exceptions import AnalysisError, ConfigurationError
 from ..numerics.stats import WeightedStatistics
 
 __all__ = ["TimeSeriesTrace", "SimulationTrace"]
@@ -25,29 +39,27 @@ class TimeSeriesTrace:
 
     Values are recorded at (non-decreasing) times; between two records the
     series holds the earlier value, which matches how queue length and
-    window size actually evolve in the simulator.
+    window size actually evolve in the simulator.  Storage is columnar
+    (:class:`~repro.dataplane.ColumnarTrace`); pass ``memmap_dir`` to
+    spill the columns to disk for very long runs.
     """
 
-    def __init__(self, name: str = ""):
+    def __init__(self, name: str = "", memmap_dir: Optional[str] = None):
         self.name = name
-        self._times: List[float] = []
-        self._values: List[float] = []
-        # Array views of the recorded lists, built lazily and invalidated on
-        # record(): the analysis helpers (time averages, resampling,
-        # throughput summaries) call .times/.values repeatedly after the run
-        # and used to pay a full list->array conversion on every access.
-        self._times_array: Optional[np.ndarray] = None
-        self._values_array: Optional[np.ndarray] = None
+        self._store = ColumnarTrace(memmap_dir=memmap_dir)
 
     def record(self, time: float, value: float) -> None:
-        """Append a sample (times must be non-decreasing)."""
-        if self._times and time < self._times[-1] - 1e-12:
+        """Append a sample (times must be non-decreasing).
+
+        The monotonicity tolerance is relative (one part in 10^12 of the
+        current time scale), so long simulations (t ~ 1e6) are held to the
+        same effective precision as short ones.
+        """
+        last = self._store.last_time
+        if last is not None and time < last - 1e-12 * max(1.0, abs(last)):
             raise AnalysisError(
                 f"trace '{self.name}' received out-of-order time {time:.6g}")
-        self._times.append(float(time))
-        self._values.append(float(value))
-        self._times_array = None
-        self._values_array = None
+        self._store.append(float(time), float(value))
 
     def append(self, time: float, value: float) -> None:
         """Append a sample without the monotonicity check (hot path).
@@ -55,54 +67,49 @@ class TimeSeriesTrace:
         The simulator's event loop records under a monotone clock, so the
         per-sample ordering check of :meth:`record` is redundant there; the
         caller guarantees non-decreasing times and pre-converted floats.
-        The lazy array views need no explicit invalidation: the ``times`` /
-        ``values`` properties rebuild whenever their length falls behind.
         """
-        self._times.append(time)
-        self._values.append(value)
+        self._store.append(time, value)
 
     def __len__(self) -> int:
-        return len(self._times)
+        return len(self._store)
 
     @property
     def times(self) -> np.ndarray:
-        """Recorded times as an array (cached until the next record)."""
-        if self._times_array is None or len(self._times_array) != len(self._times):
-            self._times_array = np.asarray(self._times)
-        return self._times_array
+        """Recorded times as a (read-only, zero-copy) array view."""
+        return self._store.times
 
     @property
     def values(self) -> np.ndarray:
-        """Recorded values as an array (cached until the next record)."""
-        if self._values_array is None or len(self._values_array) != len(self._values):
-            self._values_array = np.asarray(self._values)
-        return self._values_array
+        """Recorded values as a (read-only, zero-copy) array view."""
+        return self._store.values
 
     def last_value(self, default: float = 0.0) -> float:
         """Most recent value, or *default* when the trace is empty."""
-        return self._values[-1] if self._values else default
+        value = self._store.last_value
+        return value if value is not None else default
 
     def time_average(self, t_start: float = 0.0,
                      t_end: Optional[float] = None) -> float:
         """Time-average of the piecewise-constant series over ``[t_start, t_end]``."""
-        if not self._times:
+        n = len(self._store)
+        if n == 0:
             raise AnalysisError(f"trace '{self.name}' is empty")
-        t_end = t_end if t_end is not None else self._times[-1]
+        times = self._store.times
+        values = self._store.values
+        t_end = t_end if t_end is not None else float(times[-1])
         if t_end <= t_start:
             raise AnalysisError("t_end must exceed t_start for a time average")
         stats = WeightedStatistics()
-        times = self._times
-        values = self._values
-        for i in range(len(times)):
+        for i in range(n):
             interval_start = max(times[i], t_start)
-            interval_end = t_end if i == len(times) - 1 else min(times[i + 1], t_end)
+            interval_end = t_end if i == n - 1 else min(times[i + 1], t_end)
             if interval_end > interval_start:
                 stats.update(values[i], interval_end - interval_start)
-        return stats.mean
+        return float(stats.mean)
 
     def resample(self, sample_times: np.ndarray) -> np.ndarray:
         """Sample the piecewise-constant series at the given times."""
-        if not self._times:
+        if len(self._store) == 0:
             raise AnalysisError(f"trace '{self.name}' is empty")
         sample_times = np.asarray(sample_times, dtype=float)
         times = self.times
@@ -111,10 +118,84 @@ class TimeSeriesTrace:
         indices = np.clip(indices, 0, len(values) - 1)
         return values[indices]
 
+    def summary(self) -> dict:
+        """Cheap structural summary (sample count, window, backing)."""
+        summary = self._store.summary()
+        summary["retention"] = "full"
+        return summary
 
-@dataclass
+    def to_dict(self) -> dict:
+        """JSON-friendly full-history payload (floats round-trip exactly)."""
+        return {
+            "__trace__": "TimeSeriesTrace",
+            "name": self.name,
+            "times": self.times.tolist(),
+            "values": self.values.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TimeSeriesTrace":
+        """Rebuild a trace from :meth:`to_dict` output (exact round trip)."""
+        _check_trace_tag(data, "TimeSeriesTrace")
+        trace = cls(data.get("name", ""))
+        for time, value in zip(data["times"], data["values"], strict=True):
+            trace.append(float(time), float(value))
+        return trace
+
+
+TraceSinkImpl = Union[TimeSeriesTrace, MomentsTraceSink, NullTraceSink]
+
+_SINK_TAGS = {
+    "TimeSeriesTrace": TimeSeriesTrace,
+    "MomentsTraceSink": MomentsTraceSink,
+    "NullTraceSink": NullTraceSink,
+}
+
+
+def _check_trace_tag(data: dict, expected: str) -> None:
+    tag = data.get("__trace__")
+    if tag != expected:
+        raise ConfigurationError(
+            f"cannot revive trace payload tagged {tag!r} as {expected}")
+
+
+def _sink_to_dict(sink: TraceSinkImpl) -> dict:
+    if isinstance(sink, TimeSeriesTrace):
+        return sink.to_dict()
+    payload = sink.summary()
+    payload["__trace__"] = type(sink).__name__
+    payload["name"] = sink.name
+    return payload
+
+
+def _sink_from_dict(data: dict) -> TraceSinkImpl:
+    tag = data.get("__trace__")
+    if tag == "TimeSeriesTrace":
+        return TimeSeriesTrace.from_dict(data)
+    if tag == "MomentsTraceSink":
+        sink = MomentsTraceSink(data.get("name", ""))
+        sink._count = int(data["n_samples"])
+        if sink._count:
+            sink._first_time = float(data["t_start"])
+            sink._last_time = float(data["t_end"])
+            sink._last_value = float(data["last_value"])
+            from ..dataplane import TimeWeightedMoments
+            sink._moments = TimeWeightedMoments.from_dict(data["moments"])
+        return sink
+    if tag == "NullTraceSink":
+        sink = NullTraceSink(data.get("name", ""))
+        sink._count = int(data["n_samples"])
+        return sink
+    raise ConfigurationError(f"unknown trace sink payload tag {tag!r}")
+
+
 class SimulationTrace:
-    """All the time series recorded during one simulation run.
+    """All the series recorded during one simulation run.
+
+    The ``retention`` policy selects the sink implementation for every
+    series (``"full"`` keeps histories, ``"moments"`` streams time-weighted
+    statistics, ``"none"`` keeps only counts and last values); the packet
+    counters are exact under every policy.
 
     Attributes
     ----------
@@ -129,16 +210,27 @@ class SimulationTrace:
         Per-source cumulative count of packets dropped at the bottleneck.
     """
 
-    queue_length: TimeSeriesTrace = field(
-        default_factory=lambda: TimeSeriesTrace("queue_length"))
-    source_rates: Dict[int, TimeSeriesTrace] = field(default_factory=dict)
-    deliveries: Dict[int, int] = field(default_factory=dict)
-    losses: Dict[int, int] = field(default_factory=dict)
+    def __init__(self, retention: str = "full",
+                 memmap_dir: Optional[str] = None):
+        self.retention = validate_retention(retention)
+        self.memmap_dir = memmap_dir
+        self.queue_length = self._make_sink("queue_length")
+        self.source_rates: Dict[int, TraceSinkImpl] = {}
+        self.deliveries: Dict[int, int] = {}
+        self.losses: Dict[int, int] = {}
 
-    def rate_trace(self, source_id: int) -> TimeSeriesTrace:
+    def _make_sink(self, name: str) -> TraceSinkImpl:
+        if self.retention == "full":
+            return TimeSeriesTrace(name, memmap_dir=self.memmap_dir)
+        if self.retention == "moments":
+            return MomentsTraceSink(name)
+        return NullTraceSink(name)
+
+    def rate_trace(self, source_id: int) -> TraceSinkImpl:
         """The (created-on-demand) rate/window trace of one source."""
         if source_id not in self.source_rates:
-            self.source_rates[source_id] = TimeSeriesTrace(f"rate-{source_id}")
+            self.source_rates[source_id] = self._make_sink(
+                f"rate-{source_id}")
         return self.source_rates[source_id]
 
     def count_delivery(self, source_id: int) -> None:
@@ -161,3 +253,49 @@ class SimulationTrace:
         lost = self.losses.get(source_id, 0)
         total = delivered + lost
         return lost / total if total else 0.0
+
+    def summary(self) -> dict:
+        """Cheap whole-run summary: per-series summaries plus counters."""
+        return {
+            "retention": self.retention,
+            "queue_length": self.queue_length.summary(),
+            "source_rates": {source_id: sink.summary()
+                             for source_id, sink in self.source_rates.items()},
+            "deliveries": dict(self.deliveries),
+            "losses": dict(self.losses),
+        }
+
+    def to_dict(self) -> dict:
+        """JSON-friendly payload; exact round trip via :meth:`from_dict`."""
+        queue_payload = _sink_to_dict(self.queue_length)
+        if not isinstance(self.queue_length, TimeSeriesTrace):
+            queue_payload["last_value"] = self.queue_length.last_value()
+        rate_payloads = {}
+        for source_id, sink in self.source_rates.items():
+            payload = _sink_to_dict(sink)
+            if not isinstance(sink, TimeSeriesTrace):
+                payload["last_value"] = sink.last_value()
+            rate_payloads[str(source_id)] = payload
+        return {
+            "__trace__": "SimulationTrace",
+            "retention": self.retention,
+            "queue_length": queue_payload,
+            "source_rates": rate_payloads,
+            "deliveries": {str(k): v for k, v in self.deliveries.items()},
+            "losses": {str(k): v for k, v in self.losses.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationTrace":
+        """Rebuild a trace bundle from :meth:`to_dict` output."""
+        _check_trace_tag(data, "SimulationTrace")
+        trace = cls(retention=data.get("retention", "full"))
+        trace.queue_length = _sink_from_dict(data["queue_length"])
+        trace.source_rates = {
+            int(source_id): _sink_from_dict(payload)
+            for source_id, payload in data.get("source_rates", {}).items()}
+        trace.deliveries = {int(k): int(v)
+                            for k, v in data.get("deliveries", {}).items()}
+        trace.losses = {int(k): int(v)
+                        for k, v in data.get("losses", {}).items()}
+        return trace

@@ -19,6 +19,10 @@ parallelism, deterministic seeding and on-disk result reuse:
 * :mod:`repro.runner.journal` -- :class:`RunJournal`, the crash-safe
   append-only outcome journal behind checkpoint/resume
   (``run_jobs(..., journal=...)`` / ``repro run --resume``);
+* :mod:`repro.runner.mapreduce` -- :class:`MapReduceSpec`, sharded
+  map-reduce aggregation (``run_jobs(..., reduce=...)``): successful job
+  values fold into one running state in submission order, so a campaign's
+  working set is the aggregate, not every payload;
 * :mod:`repro.runner.faults` -- :class:`FaultPlan`, deterministic fault
   injection (worker kills, transient raises, timeout sleeps) for testing
   every recovery path above;
@@ -48,6 +52,7 @@ from .executor import (
     print_progress,
     run_jobs,
 )
+from .mapreduce import MapReduceSpec
 from .faults import FaultPlan, InjectedTransientError, corrupt_cache_entry, \
     truncate_journal
 from .grid import build_matrix, expand_grid
@@ -66,6 +71,7 @@ __all__ = [
     "run_jobs",
     "JobOutcome",
     "MatrixResult",
+    "MapReduceSpec",
     "RetryPolicy",
     "print_progress",
     "ResultCache",

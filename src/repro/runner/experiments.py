@@ -172,17 +172,31 @@ def delay_point(params: SystemParameters, delay: float,
 
 
 def ensemble_point(params: SystemParameters, seed: int, t_end: float = 60.0,
-                   n_paths: int = 500, dt: float = 0.02) -> dict:
-    """Run a Langevin ensemble and report final-time queue statistics."""
+                   n_paths: int = 500, dt: float = 0.02,
+                   retention: str = "full",
+                   memmap_dir: Optional[str] = None) -> dict:
+    """Run a Langevin ensemble and report final-time queue statistics.
+
+    ``retention="moments"`` streams per-time accumulators instead of the
+    full path array (final-time statistics stay exact); ``"none"`` reads
+    the mean/std from the streamed moments at the final time.
+    """
     from ..stochastic.ensemble import run_ensemble
 
     ensemble = run_ensemble(jrj_from_parameters(params), params, q0=0.0,
                             rate0=0.5 * params.mu, t_end=t_end, dt=dt,
-                            n_paths=n_paths, seed=seed)
-    samples = ensemble.final_queue_samples()
+                            n_paths=n_paths, seed=seed, retention=retention,
+                            memmap_dir=memmap_dir)
+    if retention == "none":
+        mean_queue = float(ensemble.mean_queue_series[-1])
+        std_queue = float(ensemble.std_queue_series[-1])
+    else:
+        samples = ensemble.final_queue_samples()
+        mean_queue = float(np.mean(samples))
+        std_queue = float(np.std(samples))
     return {
-        "mean_queue": float(np.mean(samples)),
-        "std_queue": float(np.std(samples)),
+        "mean_queue": mean_queue,
+        "std_queue": std_queue,
         "overflow_probability":
             float(ensemble.overflow_probability(2.0 * params.q_target)),
     }
@@ -230,18 +244,23 @@ def packet_point(seed: int = 0, n_sources: int = 2, duration: float = 200.0,
     result = Simulator(config).run(duration=duration)
     return {
         "throughputs": [float(tp) for tp in result.throughput_list()],
-        "mean_queue": float(result.mean_queue_length),
+        "mean_queue": float(result.mean_queue),
     }
 
 
 def des_scenario_point(scenario: str, duration: float = 120.0,
                        seed: Optional[int] = None, engine: str = "fast",
+                       retention: str = "full",
+                       memmap_dir: Optional[str] = None,
                        **scenario_kwargs) -> dict:
     """Run one registered DES scenario and report its headline metrics.
 
     *scenario* names an entry of :mod:`repro.queueing.scenarios`; extra
     keyword arguments are forwarded to its builder.  A ``seed`` (derived
     per job by the matrix layer) overrides the builder's default seed.
+    ``retention`` selects the trace data plane's history policy (see
+    :mod:`repro.dataplane`); queue averages are reported as NaN under
+    ``"none"``, which keeps only counters.
     """
     spec = get_scenario(scenario)
     if seed is not None:
@@ -249,7 +268,9 @@ def des_scenario_point(scenario: str, duration: float = 120.0,
     config = spec.build(**scenario_kwargs)
 
     if spec.kind == "multihop":
-        result = MultiHopSimulator(config, engine=engine).run(duration)
+        result = MultiHopSimulator(config, engine=engine,
+                                   retention=retention,
+                                   memmap_dir=memmap_dir).run(duration)
         throughputs = list(result.throughputs.values())
         return {
             "scenario": scenario,
@@ -262,13 +283,16 @@ def des_scenario_point(scenario: str, duration: float = 120.0,
             "events_executed": int(result.events_executed),
         }
 
-    result = Simulator(config, engine=engine).run(duration)
+    result = Simulator(config, engine=engine, retention=retention,
+                       memmap_dir=memmap_dir).run(duration)
+    mean_queue = (float("nan") if retention == "none"
+                  else float(result.mean_queue))
     return {
         "scenario": scenario,
         "kind": spec.kind,
         "jain_index": float(result.fairness_index()),
         "utilization": float(result.utilization()),
-        "mean_queue": float(result.mean_queue_length),
+        "mean_queue": mean_queue,
         "total_losses": int(result.total_losses),
         "events_executed": int(result.events_executed),
     }
@@ -363,11 +387,33 @@ def crossval_point(params: SystemParameters, n_sources: int = 1,
 
 @dataclass(frozen=True)
 class MatrixDefinition:
-    """A named, CLI-runnable job matrix."""
+    """A named, CLI-runnable job matrix.
+
+    Builders take ``(params, seed, t_end)``; those with
+    ``supports_retention=True`` additionally accept ``retention=`` and
+    ``memmap_dir=`` keywords threading the trace data plane's history
+    policy into every job (``repro run --retention/--memmap-dir``).
+    """
 
     name: str
     description: str
     build: Callable[..., List[JobSpec]]
+    supports_retention: bool = False
+
+
+def _dataplane_fixed(fixed: Dict[str, object], retention: str,
+                     memmap_dir: Optional[str]) -> Dict[str, object]:
+    """Merge non-default data-plane knobs into a builder's fixed overrides.
+
+    Defaults are *omitted* rather than spelled out so the job content hash
+    -- and therefore the result cache key -- of a default-configured
+    campaign is unchanged from before these knobs existed.
+    """
+    if retention != "full":
+        fixed["retention"] = str(retention)
+    if memmap_dir is not None:
+        fixed["memmap_dir"] = str(memmap_dir)
+    return fixed
 
 
 def _density_grid(params: SystemParameters, seed: Optional[int],
@@ -390,12 +436,15 @@ def _delay_grid(params: SystemParameters, seed: Optional[int],
 
 
 def _ensemble_grid(params: SystemParameters, seed: Optional[int],
-                   t_end: Optional[float]) -> List[JobSpec]:
+                   t_end: Optional[float], retention: str = "full",
+                   memmap_dir: Optional[str] = None) -> List[JobSpec]:
     return build_matrix(
         ensemble_point, params,
         axes={"sigma": [0.2, 0.4, 0.6, 0.8], "c0": [0.025, 0.05, 0.1]},
-        fixed={"t_end": t_end if t_end is not None else 40.0,
-               "n_paths": 400},
+        fixed=_dataplane_fixed(
+            {"t_end": t_end if t_end is not None else 40.0,
+             "n_paths": 400},
+            retention, memmap_dir),
         master_seed=seed if seed is not None else 1991)
 
 
@@ -419,43 +468,55 @@ def _theorem1_grid(params: SystemParameters, seed: Optional[int],
 
 
 def _des_dumbbell_grid(params: SystemParameters, seed: Optional[int],
-                       t_end: Optional[float]) -> List[JobSpec]:
+                       t_end: Optional[float], retention: str = "full",
+                       memmap_dir: Optional[str] = None) -> List[JobSpec]:
     return build_matrix(
         des_scenario_point, None,
         axes={"n_sources": [8, 32, 64]},
-        fixed={"scenario": "dumbbell",
-               "duration": t_end if t_end is not None else 60.0},
+        fixed=_dataplane_fixed(
+            {"scenario": "dumbbell",
+             "duration": t_end if t_end is not None else 60.0},
+            retention, memmap_dir),
         master_seed=seed)
 
 
 def _des_parking_lot_grid(params: SystemParameters, seed: Optional[int],
-                          t_end: Optional[float]) -> List[JobSpec]:
+                          t_end: Optional[float], retention: str = "full",
+                          memmap_dir: Optional[str] = None) -> List[JobSpec]:
     return build_matrix(
         des_scenario_point, None,
         axes={"n_extra_hops": [1, 2, 4],
               "scheme": ["jacobson", "decbit"]},
-        fixed={"scenario": "parking-lot",
-               "duration": t_end if t_end is not None else 200.0},
+        fixed=_dataplane_fixed(
+            {"scenario": "parking-lot",
+             "duration": t_end if t_end is not None else 200.0},
+            retention, memmap_dir),
         master_seed=seed)
 
 
 def _des_chain_grid(params: SystemParameters, seed: Optional[int],
-                    t_end: Optional[float]) -> List[JobSpec]:
+                    t_end: Optional[float], retention: str = "full",
+                    memmap_dir: Optional[str] = None) -> List[JobSpec]:
     return build_matrix(
         des_scenario_point, None,
         axes={"n_hops": [2, 4, 8]},
-        fixed={"scenario": "chain",
-               "duration": t_end if t_end is not None else 200.0},
+        fixed=_dataplane_fixed(
+            {"scenario": "chain",
+             "duration": t_end if t_end is not None else 200.0},
+            retention, memmap_dir),
         master_seed=seed)
 
 
 def _des_mesh_grid(params: SystemParameters, seed: Optional[int],
-                   t_end: Optional[float]) -> List[JobSpec]:
+                   t_end: Optional[float], retention: str = "full",
+                   memmap_dir: Optional[str] = None) -> List[JobSpec]:
     return build_matrix(
         des_scenario_point, None,
         axes={"n_routes": [6, 12], "max_hops": [2, 4]},
-        fixed={"scenario": "mesh", "n_nodes": 8,
-               "duration": t_end if t_end is not None else 150.0},
+        fixed=_dataplane_fixed(
+            {"scenario": "mesh", "n_nodes": 8,
+             "duration": t_end if t_end is not None else 150.0},
+            retention, memmap_dir),
         master_seed=seed)
 
 
@@ -503,7 +564,7 @@ _MATRICES: Dict[str, MatrixDefinition] = {
     "ensemble-grid": MatrixDefinition(
         "ensemble-grid",
         "Langevin ensemble statistics over sigma x c0 (12 jobs, seeded)",
-        _ensemble_grid),
+        _ensemble_grid, supports_retention=True),
     "theorem1-grid": MatrixDefinition(
         "theorem1-grid",
         "Theorem 1 convergence over c0 x c1 (4 batched jobs, 12 points)",
@@ -511,19 +572,19 @@ _MATRICES: Dict[str, MatrixDefinition] = {
     "des-dumbbell": MatrixDefinition(
         "des-dumbbell",
         "packet-level dumbbell scaling over n_sources (3 jobs, seeded)",
-        _des_dumbbell_grid),
+        _des_dumbbell_grid, supports_retention=True),
     "des-parking-lot": MatrixDefinition(
         "des-parking-lot",
         "parking-lot unfairness over hops x scheme (6 jobs, seeded)",
-        _des_parking_lot_grid),
+        _des_parking_lot_grid, supports_retention=True),
     "des-chain": MatrixDefinition(
         "des-chain",
         "N-hop chain with cross traffic over n_hops (3 jobs, seeded)",
-        _des_chain_grid),
+        _des_chain_grid, supports_retention=True),
     "des-mesh": MatrixDefinition(
         "des-mesh",
         "random-mesh DES over n_routes x max_hops (4 jobs, seeded)",
-        _des_mesh_grid),
+        _des_mesh_grid, supports_retention=True),
     "des-crossval": MatrixDefinition(
         "des-crossval",
         "DES-vs-FP agreement over sigma x n_sources (4 jobs, seeded)",

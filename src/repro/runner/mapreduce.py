@@ -1,0 +1,120 @@
+"""Sharded map-reduce aggregation for job matrices.
+
+A campaign that only needs an *aggregate* -- merged streaming moments, a
+combined histogram, a global top-k -- should not hold every per-job payload
+in memory until the end.  :class:`MapReduceSpec` describes how successful
+job values fold into one running state; :func:`~repro.runner.run_jobs`
+applies it **in submission order** as jobs finish (a staging buffer holds
+out-of-order completions until their turn), so the reduced state is
+bit-identical whether the matrix ran serially, across worker processes, or
+resumed from a journal.  With ``keep_values=False`` (the default) each
+value is dropped right after it is cached, journaled and folded, bounding
+the campaign's working set by the reduce state plus the in-flight window.
+
+Accumulator states from :mod:`repro.dataplane` (``StreamingMoments``,
+``StreamingHistogram``, ``TimeWeightedMoments``) are the intended fold
+targets: their Chan-parallel merges make the aggregate independent of how
+the work was sharded, which the Hypothesis suite verifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["MapReduceSpec"]
+
+
+@dataclass(frozen=True)
+class MapReduceSpec:
+    """How a job matrix reduces to one aggregate state.
+
+    Attributes
+    ----------
+    fold:
+        ``fold(state, value) -> state`` applied to every successful job
+        value in submission order.  Mutating and returning *state* is
+        fine; so is returning a fresh state.
+    initial:
+        Starting state.  A callable is treated as a zero-argument factory
+        and invoked once per run (pass e.g. ``StreamingMoments`` states
+        this way so reruns never share mutable state).
+    finalize:
+        Optional ``finalize(state) -> result`` applied once after the last
+        fold; its return value becomes ``MatrixResult.reduced``.
+    keep_values:
+        When ``False`` (default), each job value is dropped from the
+        in-memory outcome right after caching/journaling/folding --
+        ``MatrixResult.reduced`` is the product, not the value list.  Set
+        ``True`` to retain per-job values alongside the aggregate.
+    """
+
+    fold: Callable[[Any, Any], Any]
+    initial: Any = None
+    finalize: Optional[Callable[[Any], Any]] = None
+    keep_values: bool = False
+
+    def __post_init__(self) -> None:
+        if not callable(self.fold):
+            raise ConfigurationError("MapReduceSpec.fold must be callable")
+        if self.finalize is not None and not callable(self.finalize):
+            raise ConfigurationError(
+                "MapReduceSpec.finalize must be callable when given")
+
+    def make_initial(self) -> Any:
+        """The starting state for one run (factories invoked here)."""
+        if callable(self.initial):
+            return self.initial()
+        return self.initial
+
+
+def coerce_reduce_spec(reduce: Any) -> "MapReduceSpec":
+    """Accept a :class:`MapReduceSpec` or a bare fold callable."""
+    if isinstance(reduce, MapReduceSpec):
+        return reduce
+    if callable(reduce):
+        return MapReduceSpec(fold=reduce)
+    raise ConfigurationError(
+        "reduce= must be a MapReduceSpec or a fold callable")
+
+
+class SubmissionOrderReducer:
+    """Folds job values in submission order regardless of completion order.
+
+    Completions arriving early are staged; whenever the next-unfolded
+    index becomes available (success *or* failure -- failures advance the
+    pointer without folding), the contiguous prefix is folded and
+    released.  This makes the reduce deterministic: the fold sees exactly
+    the successful values in matrix order, however execution interleaved.
+    """
+
+    _SKIP = object()  # marks a failed job: advances the fold frontier
+
+    def __init__(self, spec: MapReduceSpec):
+        self.spec = spec
+        self.state = spec.make_initial()
+        self._staged: Dict[int, Any] = {}
+        self._next = 0
+        self.folded = 0
+
+    def offer(self, index: int, value: Any, ok: bool) -> None:
+        """Stage one finished job and fold any ready prefix."""
+        self._staged[index] = value if ok else self._SKIP
+        while self._next in self._staged:
+            staged = self._staged.pop(self._next)
+            if staged is not self._SKIP:
+                self.state = self.spec.fold(self.state, staged)
+                self.folded += 1
+            self._next += 1
+
+    def result(self) -> Any:
+        """The final reduced value (after :attr:`spec` finalisation)."""
+        if self._staged:
+            raise ConfigurationError(
+                "reduce finished with unfolded staged values; some job "
+                "indices never reported an outcome")
+        if self.spec.finalize is not None:
+            return self.spec.finalize(self.state)
+        return self.state

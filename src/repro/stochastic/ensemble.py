@@ -7,13 +7,27 @@ seeded shards whose seeds come from the spawn-key derivation in
 ``(seed, i, its particle count)``, so results are reproducible and
 bit-identical whether the shards run serially or across worker processes
 (``n_jobs > 1``).
+
+Since the columnar data-plane redesign, sharded ensembles also take a
+``retention`` policy.  Under ``retention="full"`` every sample path is
+kept (optionally spilled to a ``numpy.memmap`` via ``memmap_dir``) exactly
+as before.  Under ``"moments"`` each shard's paths are folded into
+streaming per-snapshot-time Welford moments (exact Chan parallel merge,
+shard-index fold order) plus the final particle states, and the shard's
+history is discarded -- the working set is one shard, not the ensemble.
+Under ``"none"`` even the final states are streamed into a fixed-bin
+histogram and overflow counters.  Because shard streams depend only on
+``(seed, shard index, shard size)``, a moments-mode run integrates exactly
+the same sample paths as the full-mode run it summarises.
 """
 
 from __future__ import annotations
 
+import warnings
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -21,14 +35,15 @@ from ..config import SystemParameters
 from ..control.base import RateControl
 from ..core.moments import marginal_q
 from ..core.solver import FokkerPlanckResult
+from ..dataplane import StreamingHistogram, StreamingMoments, validate_retention
 from ..exceptions import AnalysisError, ConfigurationError
 from ..numerics.sde import SDEPaths
 from ..numerics.stats import empirical_density
 from ..queueing.random_streams import child_seed_sequences
 from .langevin import LangevinModel
 
-__all__ = ["EnsembleResult", "run_ensemble", "compare_with_density",
-           "shard_sizes"]
+__all__ = ["EnsembleResult", "EnsembleStats", "run_ensemble",
+           "compare_with_density", "shard_sizes"]
 
 #: Shard count used when ``seed=`` is given without an explicit ``n_shards``.
 #: A fixed constant (never ``n_jobs``) so the sharded result is identical no
@@ -37,54 +52,284 @@ DEFAULT_SHARDS = 8
 
 
 @dataclass
-class EnsembleResult:
-    """Summary of one Langevin Monte-Carlo ensemble run.
+class EnsembleStats:
+    """Streamed summary of an ensemble (what survives discarding paths).
 
     Attributes
     ----------
-    paths:
-        The raw sample paths.
-    mu:
-        Service rate used, kept so rate-vs-growth conversions need no extra
-        argument.
+    times:
+        Snapshot times, shape ``(n_times,)``.
+    n_paths:
+        Total particle count folded in.
+    moments:
+        Per-snapshot-time, per-component Welford moments with state shape
+        ``(n_times, dim)``; particles are the sample axis.
+    final_states:
+        Particle states at the final time, shape ``(n_paths, dim)``; kept
+        under ``retention="moments"`` (so overflow probabilities and
+        empirical densities stay exact), ``None`` under ``"none"``.
+    final_queue_histogram:
+        Fixed-bin histogram of final queue lengths (``retention="none"``
+        with ``histogram_edges``), else ``None``.
+    overflow_counts:
+        Exact counts of final queues strictly above each configured
+        threshold (``retention="none"``), keyed by threshold.
     """
 
-    paths: SDEPaths
+    times: np.ndarray
+    n_paths: int
+    moments: StreamingMoments
+    final_states: Optional[np.ndarray] = None
+    final_queue_histogram: Optional[StreamingHistogram] = None
+    overflow_counts: Dict[float, int] = field(default_factory=dict)
+
+    def merge(self, other: "EnsembleStats") -> "EnsembleStats":
+        """Fold another shard-group summary into this one."""
+        if not np.array_equal(self.times, other.times):
+            raise AnalysisError(
+                "cannot merge ensemble summaries with different time grids")
+        self.moments.merge(other.moments)
+        self.n_paths += other.n_paths
+        if self.final_states is not None and other.final_states is not None:
+            self.final_states = np.concatenate(
+                [self.final_states, other.final_states], axis=0)
+        elif other.final_states is not None:
+            self.final_states = other.final_states.copy()
+        if other.final_queue_histogram is not None:
+            if self.final_queue_histogram is None:
+                self.final_queue_histogram = StreamingHistogram.from_dict(
+                    other.final_queue_histogram.to_dict())
+            else:
+                self.final_queue_histogram.merge(other.final_queue_histogram)
+        for threshold, count in other.overflow_counts.items():
+            self.overflow_counts[threshold] = (
+                self.overflow_counts.get(threshold, 0) + count)
+        return self
+
+    def to_dict(self) -> dict:
+        """JSON-friendly state; exact round trip via :meth:`from_dict`."""
+        return {
+            "__stats__": "EnsembleStats",
+            "times": self.times.tolist(),
+            "n_paths": int(self.n_paths),
+            "moments": self.moments.to_dict(),
+            "final_states": (self.final_states.tolist()
+                             if self.final_states is not None else None),
+            "final_queue_histogram": (
+                self.final_queue_histogram.to_dict()
+                if self.final_queue_histogram is not None else None),
+            "overflow_counts": {repr(threshold): int(count)
+                                for threshold, count
+                                in self.overflow_counts.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EnsembleStats":
+        """Rebuild a summary from :meth:`to_dict` output."""
+        if data.get("__stats__") != "EnsembleStats":
+            raise ConfigurationError(
+                "payload is not a serialised EnsembleStats")
+        final_states = data.get("final_states")
+        histogram = data.get("final_queue_histogram")
+        return cls(
+            times=np.asarray(data["times"], dtype=float),
+            n_paths=int(data["n_paths"]),
+            moments=StreamingMoments.from_dict(data["moments"]),
+            final_states=(np.asarray(final_states, dtype=float)
+                          if final_states is not None else None),
+            final_queue_histogram=(StreamingHistogram.from_dict(histogram)
+                                   if histogram is not None else None),
+            overflow_counts={float(threshold): int(count)
+                             for threshold, count
+                             in data.get("overflow_counts", {}).items()},
+        )
+
+
+@dataclass
+class EnsembleResult:
+    """Summary of one Langevin Monte-Carlo ensemble run.
+
+    Exactly one of :attr:`paths` (``retention="full"``) and :attr:`stats`
+    (streamed retention) carries the data; the series accessors
+    (:attr:`mean_queue_series` and friends) work for both.
+
+    Attributes
+    ----------
+    mu:
+        Service rate used, kept so rate-vs-growth conversions need no
+        extra argument.
+    retention:
+        The retention policy the run used.
+    paths:
+        The raw sample paths (``retention="full"`` only).
+    stats:
+        The streamed summary (``retention="moments"``/``"none"`` only).
+    """
+
     mu: float
+    retention: str = "full"
+    paths: Optional[SDEPaths] = None
+    stats: Optional[EnsembleStats] = None
+
+    def __post_init__(self) -> None:
+        validate_retention(self.retention)
+        if (self.paths is None) == (self.stats is None):
+            raise ConfigurationError(
+                "EnsembleResult needs exactly one of paths= or stats=")
+
+    @property
+    def n_paths(self) -> int:
+        """Total particle count."""
+        if self.paths is not None:
+            return self.paths.n_paths
+        return self.stats.n_paths
 
     @property
     def times(self) -> np.ndarray:
         """Snapshot times of the ensemble."""
-        return self.paths.times
+        if self.paths is not None:
+            return self.paths.times
+        return self.stats.times
+
+    def _moment_series(self, component: int, kind: str) -> np.ndarray:
+        if self.paths is not None:
+            if kind == "mean":
+                return self.paths.mean(component)
+            return np.sqrt(self.paths.variance(component))
+        moments = self.stats.moments
+        if kind == "mean":
+            return moments.mean[:, component]
+        return moments.std[:, component]
+
+    @property
+    def mean_queue_series(self) -> np.ndarray:
+        """Ensemble-mean queue length over time."""
+        return self._moment_series(0, "mean")
+
+    @property
+    def std_queue_series(self) -> np.ndarray:
+        """Ensemble standard deviation of the queue length over time."""
+        return self._moment_series(0, "std")
+
+    @property
+    def mean_rate_series(self) -> np.ndarray:
+        """Ensemble-mean arrival rate over time."""
+        return self._moment_series(1, "mean")
+
+    # -- deprecated spellings ----------------------------------------------
 
     @property
     def mean_queue(self) -> np.ndarray:
-        """Ensemble-mean queue length over time."""
-        return self.paths.mean(0)
+        """Deprecated alias of :attr:`mean_queue_series`."""
+        warnings.warn("EnsembleResult.mean_queue is deprecated; use "
+                      "EnsembleResult.mean_queue_series",
+                      DeprecationWarning, stacklevel=2)
+        return self.mean_queue_series
 
     @property
     def std_queue(self) -> np.ndarray:
-        """Ensemble standard deviation of the queue length over time."""
-        return np.sqrt(self.paths.variance(0))
+        """Deprecated alias of :attr:`std_queue_series`."""
+        warnings.warn("EnsembleResult.std_queue is deprecated; use "
+                      "EnsembleResult.std_queue_series",
+                      DeprecationWarning, stacklevel=2)
+        return self.std_queue_series
 
     @property
     def mean_rate(self) -> np.ndarray:
-        """Ensemble-mean arrival rate over time."""
-        return self.paths.mean(1)
+        """Deprecated alias of :attr:`mean_rate_series`."""
+        warnings.warn("EnsembleResult.mean_rate is deprecated; use "
+                      "EnsembleResult.mean_rate_series",
+                      DeprecationWarning, stacklevel=2)
+        return self.mean_rate_series
+
+    # -- final-time statistics ---------------------------------------------
 
     def final_queue_samples(self) -> np.ndarray:
-        """Queue lengths of all particles at the final time."""
-        return self.paths.final_states[:, 0]
+        """Queue lengths of all particles at the final time.
+
+        Available under ``retention="full"`` and ``"moments"``; under
+        ``"none"`` the per-particle samples were not retained.
+        """
+        if self.paths is not None:
+            return self.paths.final_states[:, 0]
+        if self.stats.final_states is not None:
+            return self.stats.final_states[:, 0]
+        raise AnalysisError(
+            "final particle states are unavailable under retention='none'; "
+            "rerun with retention='moments' or configure histogram_edges")
 
     def final_queue_density(self, edges: np.ndarray
                             ) -> tuple[np.ndarray, np.ndarray]:
         """Empirical queue-length density at the final time on the given bins."""
+        if self.paths is None and self.stats.final_states is None:
+            histogram = self.stats.final_queue_histogram
+            if histogram is not None and np.array_equal(
+                    histogram.edges, np.asarray(edges, dtype=float)):
+                return histogram.density()
+            raise AnalysisError(
+                "empirical density under retention='none' needs "
+                "histogram_edges matching the requested bins")
         return empirical_density(self.final_queue_samples(), edges)
 
     def overflow_probability(self, threshold: float) -> float:
         """Fraction of particles whose final queue exceeds *threshold*."""
+        if self.paths is None and self.stats.final_states is None:
+            for configured, count in self.stats.overflow_counts.items():
+                if abs(configured - threshold) <= 1e-12 * max(
+                        1.0, abs(configured)):
+                    return count / self.stats.n_paths
+            histogram = self.stats.final_queue_histogram
+            if histogram is not None:
+                return histogram.tail_fraction(threshold)
+            raise AnalysisError(
+                f"overflow threshold {threshold:g} was not streamed; pass it "
+                "via overflow_thresholds= or use retention='moments'")
         samples = self.final_queue_samples()
         return float(np.mean(samples > threshold))
+
+    # -- serde --------------------------------------------------------------
+
+    def summary(self) -> dict:
+        """Cheap structural summary of the run."""
+        return {
+            "retention": self.retention,
+            "n_paths": self.n_paths,
+            "n_times": int(self.times.shape[0]),
+            "t_end": float(self.times[-1]),
+            "mu": self.mu,
+        }
+
+    def to_dict(self) -> dict:
+        """JSON-friendly payload; exact round trip via :meth:`from_dict`."""
+        payload = {
+            "__result__": "EnsembleResult",
+            "mu": float(self.mu),
+            "retention": self.retention,
+        }
+        if self.paths is not None:
+            payload["paths"] = {
+                "times": self.paths.times.tolist(),
+                "paths": self.paths.paths.tolist(),
+            }
+        else:
+            payload["stats"] = self.stats.to_dict()
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EnsembleResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        if data.get("__result__") != "EnsembleResult":
+            raise ConfigurationError(
+                "payload is not a serialised EnsembleResult")
+        paths_payload = data.get("paths")
+        if paths_payload is not None:
+            paths = SDEPaths(
+                times=np.asarray(paths_payload["times"], dtype=float),
+                paths=np.asarray(paths_payload["paths"], dtype=float))
+            return cls(mu=float(data["mu"]), retention=data["retention"],
+                       paths=paths)
+        return cls(mu=float(data["mu"]), retention=data["retention"],
+                   stats=EnsembleStats.from_dict(data["stats"]))
 
 
 def shard_sizes(n_paths: int, n_shards: int) -> List[int]:
@@ -114,13 +359,76 @@ def _simulate_shard(control: RateControl, params: SystemParameters,
                           rng=np.random.default_rng(seed_sequence))
 
 
+def _fold_shard(stats: Optional[EnsembleStats], shard: SDEPaths,
+                retention: str,
+                histogram_edges: Optional[np.ndarray],
+                overflow_thresholds: Sequence[float]) -> EnsembleStats:
+    """Fold one shard's paths into the streamed summary, then drop them."""
+    n_times, n_paths, dim = shard.paths.shape
+    if stats is None:
+        stats = EnsembleStats(times=shard.times.copy(), n_paths=0,
+                              moments=StreamingMoments((n_times, dim)))
+        if retention == "moments":
+            stats.final_states = np.empty((0, dim), dtype=float)
+        elif histogram_edges is not None:
+            stats.final_queue_histogram = StreamingHistogram(histogram_edges)
+        stats.overflow_counts = ({float(t): 0 for t in overflow_thresholds}
+                                 if retention == "none" else {})
+    stats.moments.update_batch(shard.paths, axis=1)
+    stats.n_paths += n_paths
+    final = shard.final_states
+    if stats.final_states is not None:
+        stats.final_states = np.concatenate([stats.final_states, final],
+                                            axis=0)
+    else:
+        final_queues = final[:, 0]
+        if stats.final_queue_histogram is not None:
+            stats.final_queue_histogram.update(final_queues)
+        for threshold in stats.overflow_counts:
+            stats.overflow_counts[threshold] += int(
+                np.count_nonzero(final_queues > threshold))
+    return stats
+
+
+def _combine_full(shards: List[SDEPaths],
+                  memmap_dir: Optional[str]) -> SDEPaths:
+    """Concatenate shard paths along the particle axis (optionally memmapped)."""
+    if memmap_dir is None:
+        return SDEPaths(times=shards[0].times,
+                        paths=np.concatenate(
+                            [shard.paths for shard in shards], axis=1))
+    import os
+    import tempfile
+    n_times, _, dim = shards[0].paths.shape
+    n_paths = sum(shard.paths.shape[1] for shard in shards)
+    fd, path = tempfile.mkstemp(suffix=".paths", dir=memmap_dir)
+    try:
+        os.ftruncate(fd, n_times * n_paths * dim * 8)
+        combined = np.memmap(path, dtype=np.float64, mode="r+",
+                             shape=(n_times, n_paths, dim))
+    finally:
+        os.close(fd)
+    os.unlink(path)
+    offset = 0
+    for shard in shards:
+        width = shard.paths.shape[1]
+        combined[:, offset:offset + width, :] = shard.paths
+        offset += width
+    return SDEPaths(times=shards[0].times, paths=combined)
+
+
 def run_ensemble(control: RateControl, params: SystemParameters, q0: float,
                  rate0: float, t_end: float, dt: float = 0.02,
                  n_paths: int = 2000, feedback_delay: float = 0.0,
                  rng: Optional[np.random.Generator] = None,
                  seed: Optional[int] = None,
                  n_shards: Optional[int] = None,
-                 n_jobs: int = 1) -> EnsembleResult:
+                 n_jobs: int = 1,
+                 retention: str = "full",
+                 memmap_dir: Optional[str] = None,
+                 histogram_edges: Optional[np.ndarray] = None,
+                 overflow_thresholds: Optional[Sequence[float]] = None
+                 ) -> EnsembleResult:
     """Run a Langevin ensemble with the given control law and parameters.
 
     Two execution modes:
@@ -133,13 +441,32 @@ def run_ensemble(control: RateControl, params: SystemParameters, q0: float,
       optionally simulated across ``n_jobs`` worker processes.  For fixed
       ``(seed, n_paths, n_shards)`` the combined paths are bit-identical
       regardless of ``n_jobs``.
+
+    The ``retention`` policy bounds memory for sharded runs: ``"full"``
+    keeps every path (``memmap_dir`` spills the combined array to disk),
+    ``"moments"`` streams per-snapshot Welford moments plus the final
+    particle states and discards each shard after folding, ``"none"``
+    additionally replaces the final states with a fixed-bin histogram
+    (``histogram_edges``) and exact overflow counters
+    (``overflow_thresholds``, default ``(2 * params.q_target,)``).
+    Moments-mode runs integrate exactly the same sample paths as the
+    full-mode run with the same ``(seed, n_paths, n_shards)``.
     """
+    validate_retention(retention)
     if seed is not None and rng is not None:
         raise ConfigurationError("pass either rng= or seed=, not both")
     if seed is None and (n_jobs > 1 or (n_shards or 1) > 1):
         raise ConfigurationError(
             "sharded/parallel ensembles need an explicit seed= so shard "
             "streams can be derived deterministically")
+    if retention != "full" and seed is None:
+        raise ConfigurationError(
+            "streamed retention folds per-shard summaries, so it needs the "
+            "sharded mode: pass seed= (optionally n_shards=)")
+    if overflow_thresholds is None:
+        overflow_thresholds = (2.0 * params.q_target,)
+    if histogram_edges is not None:
+        histogram_edges = np.asarray(histogram_edges, dtype=float)
 
     if seed is None:
         model = LangevinModel(control, params, feedback_delay=feedback_delay)
@@ -152,24 +479,50 @@ def run_ensemble(control: RateControl, params: SystemParameters, q0: float,
     sizes = shard_sizes(n_paths, n_shards)
     seeds = child_seed_sequences(seed, len(sizes), key=("ensemble",))
 
-    if n_jobs > 1 and len(sizes) > 1:
-        with ProcessPoolExecutor(max_workers=min(n_jobs, len(sizes))) as pool:
-            futures = [pool.submit(_simulate_shard, control, params, q0,
-                                   rate0, t_end, dt, size, feedback_delay,
-                                   shard_seed)
-                       for size, shard_seed in zip(sizes, seeds, strict=True)]
-            shards = [future.result() for future in futures]
-    else:
-        shards = [_simulate_shard(control, params, q0, rate0, t_end, dt,
-                                  size, feedback_delay, shard_seed)
-                  for size, shard_seed in zip(sizes, seeds, strict=True)]
+    if retention == "full":
+        if n_jobs > 1 and len(sizes) > 1:
+            with ProcessPoolExecutor(
+                    max_workers=min(n_jobs, len(sizes))) as pool:
+                futures = [pool.submit(_simulate_shard, control, params, q0,
+                                       rate0, t_end, dt, size, feedback_delay,
+                                       shard_seed)
+                           for size, shard_seed
+                           in zip(sizes, seeds, strict=True)]
+                shards = [future.result() for future in futures]
+        else:
+            shards = [_simulate_shard(control, params, q0, rate0, t_end, dt,
+                                      size, feedback_delay, shard_seed)
+                      for size, shard_seed in zip(sizes, seeds, strict=True)]
+        # Shards are concatenated in shard-index order (never completion
+        # order), which is what makes the result independent of scheduling.
+        return EnsembleResult(paths=_combine_full(shards, memmap_dir),
+                              mu=params.mu)
 
-    # Shards are concatenated in shard-index order (never completion order),
-    # which is what makes the result independent of scheduling.
-    combined = SDEPaths(times=shards[0].times,
-                        paths=np.concatenate([shard.paths for shard in shards],
-                                             axis=1))
-    return EnsembleResult(paths=combined, mu=params.mu)
+    # Streamed retention: fold shard-by-shard in shard-index order (the fold
+    # order is part of the reproducibility contract), keeping at most the
+    # in-flight window of shard results alive.
+    stats: Optional[EnsembleStats] = None
+    if n_jobs > 1 and len(sizes) > 1:
+        work = deque(zip(sizes, seeds, strict=True))
+        window = min(n_jobs, len(sizes)) + 1
+        with ProcessPoolExecutor(max_workers=min(n_jobs, len(sizes))) as pool:
+            pending: deque = deque()
+            while work or pending:
+                while work and len(pending) < window:
+                    size, shard_seed = work.popleft()
+                    pending.append(pool.submit(
+                        _simulate_shard, control, params, q0, rate0, t_end,
+                        dt, size, feedback_delay, shard_seed))
+                stats = _fold_shard(stats, pending.popleft().result(),
+                                    retention, histogram_edges,
+                                    overflow_thresholds)
+    else:
+        for size, shard_seed in zip(sizes, seeds, strict=True):
+            shard = _simulate_shard(control, params, q0, rate0, t_end, dt,
+                                    size, feedback_delay, shard_seed)
+            stats = _fold_shard(stats, shard, retention, histogram_edges,
+                                overflow_thresholds)
+    return EnsembleResult(mu=params.mu, retention=retention, stats=stats)
 
 
 def compare_with_density(ensemble: EnsembleResult,
@@ -186,8 +539,10 @@ def compare_with_density(ensemble: EnsembleResult,
             "ensemble and Fokker-Planck runs cover different horizons")
 
     fp_moments = fp_result.final_moments
-    mean_difference = abs(float(ensemble.mean_queue[-1]) - fp_moments.mean_q)
-    std_difference = abs(float(ensemble.std_queue[-1]) - fp_moments.std_q)
+    mean_difference = abs(float(ensemble.mean_queue_series[-1])
+                          - fp_moments.mean_q)
+    std_difference = abs(float(ensemble.std_queue_series[-1])
+                         - fp_moments.std_q)
 
     grid = fp_result.grid
     edges = grid.q_grid.edges

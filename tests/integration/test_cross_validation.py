@@ -49,11 +49,11 @@ class TestFokkerPlanckVersusMonteCarlo:
 
     def test_mean_queue_agrees(self, setup):
         fp, ensemble = setup
-        assert abs(fp.final_moments.mean_q - ensemble.mean_queue[-1]) < 1.0
+        assert abs(fp.final_moments.mean_q - ensemble.mean_queue_series[-1]) < 1.0
 
     def test_std_queue_agrees(self, setup):
         fp, ensemble = setup
-        assert abs(fp.final_moments.std_q - ensemble.std_queue[-1]) < 1.0
+        assert abs(fp.final_moments.std_q - ensemble.std_queue_series[-1]) < 1.0
 
     def test_marginal_densities_close_in_l1(self, setup):
         fp, ensemble = setup
@@ -100,7 +100,7 @@ class TestContinuousVersusPacketLevel:
         packet = Simulator(config).run(duration=400.0)
         # Both settle in the neighbourhood of the target queue of 10 packets.
         assert abs(fluid.time_average_queue() - 10.0) < 3.0
-        assert abs(packet.mean_queue_length - 10.0) < 5.0
+        assert abs(packet.mean_queue - 10.0) < 5.0
 
     def test_packet_level_utilisation_matches_continuous_prediction(self):
         # The continuous model predicts full utilisation (sum of rates = mu).

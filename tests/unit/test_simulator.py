@@ -52,7 +52,7 @@ class TestRateBasedSimulation:
         result = Simulator(config).run(duration=300.0)
         assert isinstance(result, SimulationResult)
         # The time-average queue should sit in the vicinity of the target.
-        assert 3.0 < result.mean_queue_length < 20.0
+        assert 3.0 < result.mean_queue < 20.0
 
     def test_utilisation_close_to_capacity(self):
         config = packet_level_jrj_scenario(n_sources=2, service_rate=10.0)
@@ -89,8 +89,8 @@ class TestRateBasedSimulation:
         first = Simulator(config).run(duration=60.0)
         second = Simulator(config).run(duration=60.0)
         assert first.throughput_list() == second.throughput_list()
-        assert first.mean_queue_length == pytest.approx(
-            second.mean_queue_length)
+        assert first.mean_queue == pytest.approx(
+            second.mean_queue)
 
 
 class TestWindowBasedSimulation:
@@ -110,13 +110,13 @@ class TestWindowBasedSimulation:
         config = packet_level_window_scenario(n_sources=2, service_rate=10.0,
                                               buffer_size=40, scheme="decbit")
         result = Simulator(config).run(duration=200.0)
-        decbit_queue = result.mean_queue_length
+        decbit_queue = result.mean_queue
 
         config_tcp = packet_level_window_scenario(n_sources=2,
                                                   service_rate=10.0,
                                                   buffer_size=40,
                                                   scheme="jacobson")
-        tcp_queue = Simulator(config_tcp).run(duration=200.0).mean_queue_length
+        tcp_queue = Simulator(config_tcp).run(duration=200.0).mean_queue
         # Explicit marking reacts earlier, so the DECbit queue sits lower
         # than the loss-driven Jacobson queue.
         assert decbit_queue < tcp_queue

@@ -144,8 +144,8 @@ class TestEnsembleHelpers:
         ensemble = run_ensemble(jrj_control, noisy_params, q0=0.0, rate0=0.5,
                                 t_end=40.0, dt=0.02, n_paths=300, rng=rng)
         assert ensemble.times[-1] == pytest.approx(40.0, abs=0.1)
-        assert ensemble.mean_queue.shape == ensemble.times.shape
-        assert ensemble.std_queue.shape == ensemble.times.shape
+        assert ensemble.mean_queue_series.shape == ensemble.times.shape
+        assert ensemble.std_queue_series.shape == ensemble.times.shape
         assert 0.0 <= ensemble.overflow_probability(5.0) <= 1.0
 
     def test_final_queue_density_normalised(self, noisy_params, jrj_control,

@@ -1,0 +1,207 @@
+"""Numerical-health monitoring overhead benchmark: monitors on versus off.
+
+Times two hot paths with health monitoring ``off`` (the pre-health code,
+``HealthMonitor.create`` returns ``None``) and under ``observe`` (the
+default monitored mode):
+
+* the Fokker-Planck density evolution at the E4 experiment scale
+  (``nq=200 x nv=101``), where the monitor checks finiteness, positivity
+  and mass conservation once per output interval;
+* the 64-source dumbbell DES, where the monitored run splits the horizon
+  into 8 segments and checks queue non-negativity, the event budget and
+  sim-time progress at each boundary.
+
+Rounds are interleaved (off/observe alternating) so machine-load drift
+affects both sides equally, and the minimum per side is reported.  The
+record is printed and written to ``BENCH_health.json`` at the repository
+root.
+
+Assertions:
+
+* correctness always — both FP solves and both DES runs must be
+  bit-identical (``observe`` may not perturb a healthy run), and the
+  monitored runs must report zero violations;
+* the one *budgeted* timing gate the health subsystem ships with: the
+  ``observe`` overhead must stay within 3% on each path (with a small
+  absolute floor so a sub-millisecond jitter on a loaded CI machine
+  cannot fail the build on its own).  No other timing is asserted.
+"""
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    FokkerPlanckSolver,
+    GridParameters,
+    JRJControl,
+    Simulator,
+    SystemParameters,
+    TimeParameters,
+)
+from repro.queueing.scenarios import dumbbell_scenario
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+OUTPUT_PATH = REPO_ROOT / "BENCH_health.json"
+
+CONTROL_KW = dict(c0=0.05, c1=0.2, q_target=10.0)
+FP_GRID = GridParameters(q_max=40.0, nq=200, v_min=-1.5, v_max=1.5, nv=101)
+FP_TIME = TimeParameters(t_end=60.0, dt=0.5, snapshot_every=10)
+FP_GRID_SMOKE = GridParameters(q_max=30.0, nq=80, v_min=-1.2, v_max=1.2,
+                               nv=48)
+FP_TIME_SMOKE = TimeParameters(t_end=20.0, dt=0.5, snapshot_every=4)
+Q0, RATE0 = 0.0, 0.5
+
+DES_SOURCES = 64
+DES_DURATION = 40.0
+DES_DURATION_SMOKE = 10.0
+
+#: Relative overhead budget for observe-mode monitoring.
+OVERHEAD_BUDGET = 0.03
+#: Absolute slack (seconds) under which the relative gate is not applied:
+#: per-round jitter on shared CI runners exceeds any real monitoring cost
+#: at that scale, and the budget must never fail on noise alone.
+ABSOLUTE_FLOOR_SECONDS = 0.05
+
+
+def _measure_fp(rounds, smoke):
+    grid = FP_GRID_SMOKE if smoke else FP_GRID
+    time_params = FP_TIME_SMOKE if smoke else FP_TIME
+    params_off = SystemParameters(mu=1.0, sigma=0.5, health="off",
+                                  **CONTROL_KW)
+    params_observe = params_off.with_health("observe")
+    # One solver instance serves both sides, flipping only the health
+    # policy between solves.  Two separate instances would each own
+    # separately-placed work buffers, and that allocation-placement
+    # artifact alone measures at several percent — larger than the
+    # monitoring cost being benchmarked.  Only ``health`` differs between
+    # the two parameter sets, so the cached operators stay valid.
+    solver = FokkerPlanckSolver(params_off,
+                                JRJControl(c0=params_off.c0,
+                                           c1=params_off.c1,
+                                           q_target=params_off.q_target),
+                                grid_params=grid)
+    initial = solver.default_initial_density(Q0, RATE0)
+
+    # Warm both paths (operator caches, BLAS initialisation).
+    result_off = solver.solve(initial, time_params)
+    solver.params = params_observe
+    result_observe = solver.solve(initial, time_params)
+
+    off_seconds, observe_seconds = [], []
+    for _ in range(rounds):
+        solver.params = params_off
+        started = time.perf_counter()
+        result_off = solver.solve(initial, time_params)
+        off_seconds.append(time.perf_counter() - started)
+
+        solver.params = params_observe
+        started = time.perf_counter()
+        result_observe = solver.solve(initial, time_params)
+        observe_seconds.append(time.perf_counter() - started)
+
+    # Correctness gate: observe may not perturb a healthy run.
+    assert result_off.health is None
+    assert result_observe.health is not None
+    assert result_observe.health.n_reports == 0, \
+        result_observe.health.summary()
+    for a, b in zip(result_off.snapshots, result_observe.snapshots,
+                    strict=True):
+        assert a.time == b.time
+        assert np.array_equal(a.density, b.density), \
+            "observe-mode FP solve diverged from off"
+
+    return {
+        "config": {"nq": grid.nq, "nv": grid.nv,
+                   "t_end": time_params.t_end, "dt": time_params.dt},
+        "off_seconds": round(min(off_seconds), 4),
+        "observe_seconds": round(min(observe_seconds), 4),
+    }
+
+
+def _measure_des(rounds, smoke):
+    duration = DES_DURATION_SMOKE if smoke else DES_DURATION
+
+    def _run(health):
+        config = dumbbell_scenario(n_sources=DES_SOURCES, seed=11)
+        simulator = Simulator(config, health=health)
+        started = time.perf_counter()
+        result = simulator.run(duration)
+        return result, time.perf_counter() - started
+
+    # Warm-up (allocator, stream setup).
+    result_off, _ = _run("off")
+    result_observe, _ = _run("observe")
+
+    off_seconds, observe_seconds = [], []
+    for _ in range(rounds):
+        result_off, elapsed = _run("off")
+        off_seconds.append(elapsed)
+        result_observe, elapsed = _run("observe")
+        observe_seconds.append(elapsed)
+
+    assert result_off.health is None
+    assert result_observe.health is not None
+    assert result_observe.health.n_reports == 0, \
+        result_observe.health.summary()
+    assert result_off.events_executed == result_observe.events_executed
+    assert result_off.throughputs == result_observe.throughputs
+    assert np.array_equal(result_off.trace.queue_length.times,
+                          result_observe.trace.queue_length.times)
+    assert np.array_equal(result_off.trace.queue_length.values,
+                          result_observe.trace.queue_length.values), \
+        "observe-mode DES trace diverged from off"
+
+    return {
+        "config": {"n_sources": DES_SOURCES, "duration": duration,
+                   "events": result_off.events_executed},
+        "off_seconds": round(min(off_seconds), 4),
+        "observe_seconds": round(min(observe_seconds), 4),
+    }
+
+
+def _overhead(entry):
+    off, observe = entry["off_seconds"], entry["observe_seconds"]
+    return (observe - off) / off if off > 0.0 else 0.0
+
+
+def _assert_budget(label, entry):
+    overhead = _overhead(entry)
+    slack = entry["observe_seconds"] - entry["off_seconds"]
+    entry["overhead"] = round(overhead, 4)
+    if slack <= ABSOLUTE_FLOOR_SECONDS:
+        return
+    assert overhead <= OVERHEAD_BUDGET, (
+        f"{label}: observe-mode monitoring costs {overhead:.1%} "
+        f"(budget {OVERHEAD_BUDGET:.0%}); entry={entry}")
+
+
+def test_health_overhead(rounds=5, smoke=False):
+    fp = _measure_fp(rounds, smoke)
+    des = _measure_des(rounds, smoke)
+    _assert_budget("fp hot path", fp)
+    _assert_budget("dumbbell-64 DES", des)
+
+    record = {
+        "benchmark": "health_overhead",
+        "smoke": smoke,
+        "rounds": rounds,
+        "overhead_budget": OVERHEAD_BUDGET,
+        "fp_hot_path": fp,
+        "dumbbell_64": des,
+    }
+    OUTPUT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print()
+    print(json.dumps(record))
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small configs for CI smoke timing")
+    parser.add_argument("--rounds", type=int, default=5)
+    arguments = parser.parse_args()
+    test_health_overhead(rounds=arguments.rounds, smoke=arguments.smoke)

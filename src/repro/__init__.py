@@ -47,15 +47,25 @@ from .exceptions import (
     AnalysisError,
     ConfigurationError,
     ConvergenceError,
+    EventBudgetError,
     GridError,
     JobTimeoutError,
+    MassConservationError,
+    NegativeDensityError,
+    NonFiniteStateError,
+    NumericalHealthError,
+    QueueInvariantError,
     ReproError,
+    ResidualHealthError,
     ResultTransportError,
+    SimTimeError,
     SimulationError,
     StabilityError,
+    StepSizeError,
     TransientJobError,
     WorkerCrashError,
 )
+from .health import HealthLog, HealthMonitor, HealthReport, resolve_health
 from .control import (
     DECbitWindow,
     JacobsonWindow,
@@ -174,6 +184,20 @@ __all__ = [
     "WorkerCrashError",
     "JobTimeoutError",
     "ResultTransportError",
+    "NumericalHealthError",
+    "NonFiniteStateError",
+    "MassConservationError",
+    "NegativeDensityError",
+    "QueueInvariantError",
+    "EventBudgetError",
+    "SimTimeError",
+    "StepSizeError",
+    "ResidualHealthError",
+    # numerical health monitoring
+    "HealthReport",
+    "HealthLog",
+    "HealthMonitor",
+    "resolve_health",
     # control laws
     "RateControl",
     "WindowControl",

@@ -45,7 +45,13 @@ top of those, the :mod:`repro.runner` orchestration layer adds:
   ``--retries N`` re-executes transiently failed jobs with deterministic
   backoff, ``--timeout SECONDS`` kills and retries wedged jobs, and
   ``repro run`` journals every outcome so an interrupted campaign
-  continues with ``repro run <matrix> --resume``.
+  continues with ``repro run <matrix> --resume``;
+* numerical health monitoring (:mod:`repro.health`): ``--health
+  {strict,repair,observe,off}`` on the solver/simulator sub-commands
+  selects how run-time invariant violations (non-finite densities, mass
+  drift, negative queues, stalled solves) are handled, and ``repro
+  health JOURNAL`` replays a campaign journal summarising the recorded
+  health reports and repair counts per job.
 """
 
 from __future__ import annotations
@@ -89,7 +95,8 @@ __all__ = ["main", "build_parser"]
 
 def _system_parameters(args: argparse.Namespace) -> SystemParameters:
     return SystemParameters(mu=args.mu, q_target=args.q_target, c0=args.c0,
-                            c1=args.c1, sigma=getattr(args, "sigma", 0.0))
+                            c1=args.c1, sigma=getattr(args, "sigma", 0.0),
+                            health=getattr(args, "health", None) or "")
 
 
 def _add_common_parameters(parser: argparse.ArgumentParser) -> None:
@@ -136,6 +143,19 @@ def _add_dataplane_options(parser: argparse.ArgumentParser) -> None:
                         help="spill full-history arrays to memory-mapped "
                              "scratch files under PATH instead of RAM "
                              "(retention=full only)")
+
+
+def _add_health_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--health", choices=["strict", "repair", "observe",
+                                             "off"],
+                        default=None,
+                        help="numerical health policy: 'strict' aborts on "
+                             "any invariant violation (typed errors), "
+                             "'repair' applies logged corrections, "
+                             "'observe' records reports only, 'off' runs "
+                             "the unmonitored engines bit-identically "
+                             "(default: $REPRO_HEALTH or observe; see "
+                             "docs/robustness.md)")
 
 
 def _cache_from(args: argparse.Namespace) -> Optional[ResultCache]:
@@ -204,6 +224,7 @@ def build_parser() -> argparse.ArgumentParser:
         "density", help="solve the Fokker-Planck equation (Equation 14)")
     _add_common_parameters(density)
     _add_runner_options(density)
+    _add_health_option(density)
     density.add_argument("--sigma", type=float, default=0.5,
                          help="diffusion coefficient (default 0.5)")
     density.add_argument("--t-end", type=float, default=150.0,
@@ -231,6 +252,7 @@ def build_parser() -> argparse.ArgumentParser:
     multihop = subparsers.add_parser(
         "multihop", help="hop-count unfairness on the parking-lot topology")
     _add_runner_options(multihop)
+    _add_health_option(multihop)
     multihop.add_argument("--extra-hops", type=int, default=2,
                           help="hops the long connection traverses before "
                                "the shared node (default 2)")
@@ -245,6 +267,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_parameters(ensemble)
     _add_runner_options(ensemble)
     _add_dataplane_options(ensemble)
+    _add_health_option(ensemble)
     ensemble.add_argument("--sigma", type=float, default=0.5,
                           help="diffusion coefficient (default 0.5)")
     ensemble.add_argument("--t-end", type=float, default=60.0,
@@ -262,6 +285,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_parameters(run)
     _add_runner_options(run)
     _add_dataplane_options(run)
+    _add_health_option(run)
     run.add_argument("matrix", nargs="?", default=None,
                      help="matrix name (e.g. density-grid); see --list")
     run.add_argument("--list", action="store_true", dest="list_matrices",
@@ -286,6 +310,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_parameters(design)
     _add_runner_options(design)
     _add_dataplane_options(design)
+    _add_health_option(design)
     design.add_argument("action", choices=["stationary", "sweep"],
                         help="stationary: solve L p = 0 directly; "
                              "sweep: rank a (c0, c1, q_target, mu) grid")
@@ -334,6 +359,16 @@ def build_parser() -> argparse.ArgumentParser:
     design.add_argument("--chunk-size", type=int, default=1024,
                         help="sweep: gain points per batched-trajectory "
                              "chunk (default 1024)")
+
+    health = subparsers.add_parser(
+        "health", help="summarise the numerical-health reports recorded in "
+                       "a campaign journal")
+    health.add_argument("journal", metavar="JOURNAL",
+                        help="path of a 'repro run' campaign journal "
+                             "(.jsonl)")
+    health.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the machine-readable summary instead of "
+                             "tables")
 
     cache = subparsers.add_parser(
         "cache", help="inspect or clear the content-addressed result cache")
@@ -424,11 +459,16 @@ def _run_fairness(args: argparse.Namespace) -> int:
 
 
 def _run_multihop(args: argparse.Namespace) -> int:
-    job = JobSpec(multihop_point, overrides={
+    overrides = {
         "extra_hops": args.extra_hops,
         "duration": args.duration,
         "service_rate": args.service_rate,
-    })
+    }
+    # The default ("" = resolve the environment/observe) is omitted so the
+    # job's cache key matches runs from before the knob existed.
+    if getattr(args, "health", None):
+        overrides["health"] = args.health
+    job = JobSpec(multihop_point, overrides=overrides)
     value = _run_matrix([job], args).outcomes[0].value
     rows = [
         {"route": row["route"], "hops": row["hops"],
@@ -478,16 +518,20 @@ def _run_run(args: argparse.Namespace) -> int:
 
     params = _system_parameters(args)
     definition = get_matrix(args.matrix)
+    build_kwargs = {}
     if definition.supports_retention:
-        jobs = definition.build(params, args.seed, args.t_end,
-                                retention=args.retention,
-                                memmap_dir=args.memmap_dir)
-    else:
-        if args.retention != "full" or args.memmap_dir is not None:
-            raise ConfigurationError(
-                f"matrix {definition.name!r} does not support "
-                "--retention/--memmap-dir (its jobs keep no trace history)")
-        jobs = definition.build(params, args.seed, args.t_end)
+        build_kwargs["retention"] = args.retention
+        build_kwargs["memmap_dir"] = args.memmap_dir
+    elif args.retention != "full" or args.memmap_dir is not None:
+        raise ConfigurationError(
+            f"matrix {definition.name!r} does not support "
+            "--retention/--memmap-dir (its jobs keep no trace history)")
+    if definition.supports_health and args.health:
+        # Matrices whose jobs take no SystemParameters (the DES scenarios)
+        # receive the policy as an explicit per-job override; the others
+        # inherit it through params.health.
+        build_kwargs["health"] = args.health
+    jobs = definition.build(params, args.seed, args.t_end, **build_kwargs)
     journal = _journal_for(args, definition.name, jobs)
 
     started = time.perf_counter()
@@ -639,6 +683,78 @@ def _run_design(args: argparse.Namespace) -> int:
     return _run_design_sweep(args, params)
 
 
+def _run_health(args: argparse.Namespace) -> int:
+    """Replay a campaign journal and summarise its health reports."""
+    import json
+    import os
+
+    if not os.path.exists(args.journal):
+        raise ConfigurationError(f"no journal at {args.journal!r}")
+    journal = RunJournal(args.journal, fsync=False)
+    try:
+        records = journal.replay()
+    finally:
+        journal.close()
+
+    rows = []
+    totals = {"jobs": 0, "monitored": 0, "reports": 0, "repairs": 0,
+              "failed": 0}
+    by_invariant: dict = {}
+    job_payloads = []
+    for record in sorted(records.values(), key=lambda r: r.label):
+        totals["jobs"] += 1
+        summary = None
+        if record.ok and isinstance(record.value, dict):
+            summary = record.value.get("health")
+        if not record.ok:
+            totals["failed"] += 1
+        row = {"job": record.label,
+               "status": "ok" if record.ok else "FAILED",
+               "reports": 0, "repairs": 0, "invariants": "-"}
+        payload = {"job": record.label, "ok": record.ok}
+        if summary:
+            totals["monitored"] += 1
+            totals["reports"] += int(summary.get("n_reports", 0))
+            totals["repairs"] += int(summary.get("n_repairs", 0))
+            invariants = sorted({report["invariant"]
+                                 for report in summary.get("reports", ())})
+            for report in summary.get("reports", ()):
+                entry = by_invariant.setdefault(
+                    report["invariant"], {"reports": 0, "repairs": 0})
+                entry["reports"] += 1
+                if report.get("action") == "repair":
+                    entry["repairs"] += 1
+            row.update(reports=int(summary.get("n_reports", 0)),
+                       repairs=int(summary.get("n_repairs", 0)),
+                       invariants=", ".join(invariants) or "-")
+            payload["health"] = summary
+        if not record.ok:
+            payload["error"] = record.error
+            # Journalled errors carry the full traceback; the exception
+            # line at the end is the informative one.
+            lines = [line for line in (record.error or "").splitlines()
+                     if line.strip()]
+            row["invariants"] = lines[-1].strip()[:60] if lines else "-"
+        rows.append(row)
+        job_payloads.append(payload)
+
+    if args.as_json:
+        print(json.dumps({"journal": str(args.journal), "totals": totals,
+                          "by_invariant": by_invariant,
+                          "jobs": job_payloads},
+                         indent=2, sort_keys=True))
+        return 0
+    print(format_table(rows, title=f"health replay of {args.journal}"))
+    if by_invariant:
+        print()
+        print(format_table(
+            [{"invariant": name, **counts}
+             for name, counts in sorted(by_invariant.items())],
+            title="reports by invariant"))
+    print(format_key_values("health summary", totals))
+    return 0
+
+
 def _run_cache(args: argparse.Namespace) -> int:
     cache = ResultCache(args.cache_dir)
     if args.action == "prune":
@@ -685,6 +801,7 @@ _COMMANDS = {
     "multihop": _run_multihop,
     "run": _run_run,
     "design": _run_design,
+    "health": _run_health,
     "cache": _run_cache,
 }
 

@@ -130,6 +130,15 @@ class SystemParameters(ParameterDictMixin):
         available backend, and any registered backend name (``"numpy"``,
         ``"scipy"``) pins one explicitly.  See
         :mod:`repro.numerics.backend`.
+    health:
+        Run-time numerical health policy for the solvers: ``""`` (the
+        default) defers to the ``REPRO_HEALTH`` environment variable /
+        the ``"observe"`` default, ``"strict"`` aborts on any invariant
+        violation with a typed error, ``"repair"`` applies logged
+        repairs, ``"observe"`` records reports without changing the
+        numerics, and ``"off"`` disables monitoring entirely
+        (bit-identical to the unmonitored code paths).  See
+        :mod:`repro.health`.
     """
 
     mu: float = 1.0
@@ -138,6 +147,7 @@ class SystemParameters(ParameterDictMixin):
     c1: float = 0.2
     sigma: float = 0.0
     backend: str = ""
+    health: str = ""
 
     def __post_init__(self) -> None:
         _require(self.mu > 0.0, f"service rate mu must be positive, got {self.mu}")
@@ -149,10 +159,17 @@ class SystemParameters(ParameterDictMixin):
         from .numerics.backend import is_known_backend
         _require(is_known_backend(self.backend),
                  f"unknown numerics backend {self.backend!r}")
+        from .health.policy import is_known_health
+        _require(is_known_health(self.health),
+                 f"unknown health mode {self.health!r}")
 
     def with_backend(self, backend: str) -> "SystemParameters":
         """Return a copy of these parameters pinned to a kernel *backend*."""
         return replace(self, backend=backend)
+
+    def with_health(self, health: str) -> "SystemParameters":
+        """Return a copy of these parameters pinned to a *health* policy."""
+        return replace(self, health=health)
 
     def with_sigma(self, sigma: float) -> "SystemParameters":
         """Return a copy of these parameters with a different ``sigma``."""

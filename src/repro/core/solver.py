@@ -29,6 +29,8 @@ import numpy as np
 from ..config import GridParameters, SystemParameters, TimeParameters
 from ..control.base import RateControl
 from ..exceptions import StabilityError
+from ..health import HealthMonitor, consume_numerical_fault
+from ..health.report import HealthLog
 from ..numerics.backend import get_backend
 from ..numerics.grids import PhaseGrid2D
 from .advection import (UpwindAdvection, cfl_time_step_from_speeds,
@@ -64,11 +66,15 @@ class FokkerPlanckResult:
     absorbed_mass:
         Total probability mass removed at the ``q = q_max`` boundary (zero
         unless a finite buffer was modelled).
+    health:
+        The :class:`~repro.health.HealthLog` of the run when health
+        monitoring was active, else ``None``.
     """
 
     grid: PhaseGrid2D
     snapshots: List[DensitySnapshot] = field(default_factory=list)
     absorbed_mass: float = 0.0
+    health: Optional[HealthLog] = None
 
     @property
     def times(self) -> np.ndarray:
@@ -206,6 +212,13 @@ class FokkerPlanckSolver:
                 f"initial density shape {density.shape} does not match grid "
                 f"{self.grid.shape}")
         density = self.grid.normalize(np.maximum(density, 0.0))
+        if consume_numerical_fault("nan-density"):
+            # Deterministic chaos hook: poison the centre cell so the
+            # per-interval finiteness check (and its policies) can be
+            # exercised end to end by the fault-injection suite.
+            density[density.shape[0] // 2, density.shape[1] // 2] = np.nan
+
+        monitor = HealthMonitor.create(self.params.health, where="core.solver")
 
         result = FokkerPlanckResult(grid=self.grid)
         result.snapshots.append(DensitySnapshot(
@@ -282,10 +295,16 @@ class FokkerPlanckSolver:
             # cancellation can hide an inf or a NaN, and a non-finite value
             # can never become finite again) -- checking once per output
             # interval therefore catches every blow-up before a snapshot is
-            # recorded.
-            if not (density.sum() < np.inf):
-                raise StabilityError(
-                    f"Fokker-Planck density became non-finite at t={t:.4g}")
+            # recorded.  With monitoring active the same cadence also covers
+            # positivity and mass conservation, and a blow-up reports the
+            # first offending cell index instead of just aborting.
+            if monitor is None:
+                if not (density.sum() < np.inf):
+                    raise StabilityError(
+                        f"Fokker-Planck density became non-finite at t={t:.4g}")
+            else:
+                monitor.check_fp_density(density, grid, t,
+                                         absorbed=absorbed_total)
 
             if (output_index % steps_between_snapshots == 0
                     or output_index == n_outputs):
@@ -294,6 +313,8 @@ class FokkerPlanckSolver:
                     moments=compute_moments(density, grid)))
 
         result.absorbed_mass = absorbed_total
+        if monitor is not None:
+            result.health = monitor.log
         return result
 
     def solve_from_point(self, q0: float, rate0: float,

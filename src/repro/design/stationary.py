@@ -46,7 +46,9 @@ from ..core.generator import DiscreteGenerator, assemble_generator
 from ..core.initial import gaussian_initial_density
 from ..core.moments import DensityMoments, compute_moments
 from ..core.steady_state import SteadyStateEstimate
-from ..exceptions import ConfigurationError
+from ..exceptions import ConfigurationError, ConvergenceError
+from ..health import HealthMonitor
+from ..health.report import HealthLog
 from ..numerics.backend import get_backend
 from ..numerics.grids import PhaseGrid2D
 
@@ -131,6 +133,8 @@ class StationaryDensity:
     grid: PhaseGrid2D
     moments: DensityMoments
     estimate: StationaryEstimate
+    #: Health log of the solve (``None`` when the monitor is off).
+    health: Optional[HealthLog] = None
 
 
 @dataclass
@@ -204,7 +208,8 @@ def solve_stationary(params: SystemParameters,
                      seed: Optional[SteadyStateEstimate] = None,
                      delay: float = 0.0,
                      tol: float = 1e-9,
-                     max_iterations: int = 50) -> StationaryDensity:
+                     max_iterations: int = 50,
+                     health: Optional[str] = None) -> StationaryDensity:
     """Solve for the stationary density of one operating point directly.
 
     Parameters
@@ -233,12 +238,21 @@ def solve_stationary(params: SystemParameters,
         density; see the module docstring).
     tol, max_iterations:
         Null-solve tolerance (relative residual) and iteration cap.
+    health:
+        Numerical health policy (falls back to ``params.health``, then the
+        environment / the ``observe`` default).  The monitor checks the
+        solve's residual health: a stalled solve is recorded (and typed
+        :class:`~repro.exceptions.ResidualHealthError` replaces the plain
+        ``ConvergenceError`` under ``strict``); ``"off"`` is bit-identical
+        to the unmonitored solve.
 
     Raises
     ------
     ConvergenceError
         If the null solve stalls.
     """
+    monitor = HealthMonitor.create(health or params.health or None,
+                                   where="design.stationary")
     if control is None:
         from ..control.jrj import jrj_from_parameters
         control = jrj_from_parameters(params)
@@ -248,9 +262,21 @@ def solve_stationary(params: SystemParameters,
                                    grid_params=grid_params)
     step = _resolve_dt(generator, dt)
     guess = _seed_density(generator.grid, seed, params.q_target)
-    density, info = _solve_operator(generator, method, step,
-                                    backend or params.backend, guess,
-                                    tol, max_iterations)
+    try:
+        density, info = _solve_operator(generator, method, step,
+                                        backend or params.backend, guess,
+                                        tol, max_iterations)
+    except ConvergenceError:
+        if monitor is not None:
+            # Under strict this aborts with the typed ResidualHealthError;
+            # otherwise it records the failure and the original
+            # ConvergenceError follows (so existing retry logic still works).
+            monitor.check_residual(float("inf"), tol,
+                                   label=f"stationary {method} solve")
+        raise
+    if monitor is not None:
+        monitor.check_residual(float(info["residual"]), tol,
+                               label=f"stationary {method} solve")
     moments = compute_moments(density, generator.grid)
     estimate = StationaryEstimate(
         mean_queue=moments.mean_q, std_queue=moments.std_q,
@@ -258,7 +284,8 @@ def solve_stationary(params: SystemParameters,
         residual=float(info["residual"]), dt=step, method=method,
         backend=str(info["method"]), iterations=int(info["iterations"]))
     return StationaryDensity(density=density, grid=generator.grid,
-                             moments=moments, estimate=estimate)
+                             moments=moments, estimate=estimate,
+                             health=monitor.log if monitor else None)
 
 
 def solve_stationary_multisource(sources: Sequence[SourceParameters],

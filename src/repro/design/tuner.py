@@ -31,6 +31,8 @@ import numpy as np
 from ..config import GridParameters, ParameterDictMixin, SystemParameters
 from ..dataplane import StreamingMoments, validate_retention
 from ..exceptions import ConfigurationError, ConvergenceError
+from ..health import HealthMonitor
+from ..health.report import HealthLog
 from .objectives import (GainGridScores, ObjectiveWeights, OperatingPointScore,
                          score_gain_grid, combine_score)
 from .stationary import solve_stationary
@@ -49,7 +51,11 @@ class RankedGain(ParameterDictMixin):
     """One ranked gain choice from a design sweep (JSON/cache friendly).
 
     ``stationary_mean_queue`` / ``stationary_std_queue`` are NaN unless the
-    point went through the stationary refinement stage.
+    point went through the stationary refinement stage.  ``healthy`` is
+    ``False`` when the refinement stage could not converge a stationary
+    solve for the point even on the widened retry grid — the entry then
+    carries the coarse-stage score, flagged as numerically unhealthy
+    instead of silently blending in.
     """
 
     rank: int
@@ -66,6 +72,7 @@ class RankedGain(ParameterDictMixin):
     stationary_mean_queue: float = float("nan")
     stationary_std_queue: float = float("nan")
     refined: bool = False
+    healthy: bool = True
 
 
 @dataclass
@@ -90,6 +97,8 @@ class GainSweepResult:
     chunks: int = field(default=0)
     retention: str = "full"
     score_stats: Optional[dict] = None
+    #: Health log of the refinement stage (``None`` when the monitor is off).
+    health: Optional[HealthLog] = None
 
     @property
     def best(self) -> RankedGain:
@@ -221,7 +230,8 @@ def design_gains(params: SystemParameters,
                  refine_dt: Optional[float] = None,
                  backend: Optional[str] = None,
                  retention: str = "full",
-                 memmap_dir: Optional[str] = None) -> GainSweepResult:
+                 memmap_dir: Optional[str] = None,
+                 health: Optional[str] = None) -> GainSweepResult:
     """Run a coarse-to-fine gain-design sweep.
 
     Parameters
@@ -258,6 +268,15 @@ def design_gains(params: SystemParameters,
     memmap_dir:
         Under ``retention="full"``, back the concatenated score columns
         with ``numpy.memmap`` files in this directory.
+    health:
+        Numerical health policy for the refinement stage (falls back to
+        ``params.health``, then the environment / the ``observe``
+        default).  A gain point whose stationary solve fails even on the
+        widened retry grid is flagged ``healthy=False`` and scored from
+        the coarse entry instead of returning garbage; under ``strict``
+        that double failure aborts the sweep with a typed
+        :class:`~repro.exceptions.ResidualHealthError`, and under
+        ``repair`` the widened-grid retry is counted as a repair.
 
     Raises
     ------
@@ -349,6 +368,8 @@ def design_gains(params: SystemParameters,
         front_points = [point for _, point in pareto_candidates]
 
     do_refine = params.sigma > 0.0 if refine is None else bool(refine)
+    monitor = HealthMonitor.create(health or params.health or None,
+                                   where="design.tuner")
 
     ranked: List[RankedGain] = []
     n_refined = 0
@@ -359,19 +380,38 @@ def design_gains(params: SystemParameters,
             grid = (refine_grid if refine_grid is not None
                     else _refine_grid(point.q_target,
                                       point.oscillation_amplitude))
+            point_label = (f"gain point (c0={point.c0:.4g}, c1={point.c1:.4g}, "
+                           f"q_target={point.q_target:.4g}, mu={point.mu:.4g})")
+            # The inner solves run with health="off": the tuner is the
+            # monitor here, and its policy must see the first failure
+            # before the widened-grid retry (a strict inner monitor would
+            # abort before the retry could run).
             try:
                 stationary = solve_stationary(point_params, grid_params=grid,
-                                              dt=refine_dt, backend=backend)
+                                              dt=refine_dt, backend=backend,
+                                              health="off")
             except ConvergenceError:
                 # Mass is probably leaking through a too-small domain;
                 # retry once on a doubled queue extent, then fall back to
                 # the coarse entry rather than abort the whole sweep.
+                if monitor is not None and monitor.mode != "strict":
+                    # Counted as a repair in repair mode, recorded in
+                    # observe; strict only aborts on the double failure.
+                    monitor.check_residual(
+                        float("inf"), 1e-9, repair=lambda: None,
+                        label=f"{point_label}: widened-grid retry")
                 try:
                     stationary = solve_stationary(
                         point_params, grid_params=_widened(grid),
-                        dt=refine_dt, backend=backend)
+                        dt=refine_dt, backend=backend, health="off")
                 except ConvergenceError:
-                    ranked.append(_ranked_from_point(point, 0))
+                    if monitor is not None:
+                        monitor.check_residual(
+                            float("inf"), 1e-9,
+                            label=(f"{point_label}: stationary refine failed "
+                                   f"on the widened grid too"))
+                    ranked.append(replace(_ranked_from_point(point, 0),
+                                          healthy=False))
                     continue
             n_refined += 1
             queue_error = abs(stationary.moments.mean_q - point.q_target)
@@ -409,4 +449,5 @@ def design_gains(params: SystemParameters,
     return GainSweepResult(ranked=ranked, pareto=front, n_points=n_points,
                            n_refined=n_refined, t_end=t_end, dt=dt,
                            weights=weights, chunks=n_chunks,
-                           retention=retention, score_stats=score_stats)
+                           retention=retention, score_stats=score_stats,
+                           health=monitor.log if monitor else None)

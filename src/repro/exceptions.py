@@ -90,3 +90,54 @@ class AnalysisError(ReproError):
     For example, oscillation-period detection on a signal with no peaks, or
     equilibrium detection on a diverging trajectory.
     """
+
+
+class NumericalHealthError(StabilityError):
+    """A run-time invariant monitor aborted a run under the strict policy.
+
+    Derives from :class:`StabilityError`, not :class:`TransientJobError`:
+    an invariant violation is a deterministic property of the job, so the
+    runner's retry machinery must never re-execute it.  Carries the
+    structured :class:`~repro.health.HealthReport` that triggered the
+    abort (``None`` when raised outside a monitor).
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report
+
+
+class NonFiniteStateError(NumericalHealthError):
+    """A solver state (density, trajectory, path block) went NaN/Inf.
+
+    The report records the first offending cell index and the simulation
+    time at which the per-interval check caught it.
+    """
+
+
+class MassConservationError(NumericalHealthError):
+    """A Fokker-Planck density's total mass drifted beyond tolerance."""
+
+
+class NegativeDensityError(NumericalHealthError):
+    """A probability density developed negative cells beyond tolerance."""
+
+
+class QueueInvariantError(NumericalHealthError):
+    """A simulated queue length (state or recorded sample) went negative."""
+
+
+class EventBudgetError(NumericalHealthError):
+    """A discrete-event run exceeded its configured event budget."""
+
+
+class SimTimeError(NumericalHealthError):
+    """The event engine failed to advance simulation time to a segment end."""
+
+
+class StepSizeError(NumericalHealthError):
+    """An integrator step size is unsound for the requested horizon."""
+
+
+class ResidualHealthError(NumericalHealthError):
+    """A stationary solve or refinement left an unacceptable residual."""

@@ -1,0 +1,58 @@
+"""Health-mode resolution: ``strict`` / ``repair`` / ``observe`` / ``off``.
+
+Mirrors the backend registry's resolution order (PR 2): an explicit mode
+wins, then the ``REPRO_HEALTH`` environment variable, then the default
+(``observe``).  The empty string means "defer to the environment", which
+keeps :class:`~repro.config.SystemParameters` serialisation stable across
+machines with different environment defaults.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "DEFAULT_HEALTH",
+    "HEALTH_ENV_VAR",
+    "HEALTH_MODES",
+    "is_known_health",
+    "resolve_health",
+    "validate_health",
+]
+
+HEALTH_MODES = ("strict", "repair", "observe", "off")
+
+DEFAULT_HEALTH = "observe"
+
+HEALTH_ENV_VAR = "REPRO_HEALTH"
+
+
+def is_known_health(name: str) -> bool:
+    """True for a valid mode name, including the deferring empty string."""
+    return name == "" or name in HEALTH_MODES
+
+
+def validate_health(name: str) -> str:
+    """Return *name* if it is a valid mode, else raise ConfigurationError."""
+    if name not in HEALTH_MODES:
+        raise ConfigurationError(
+            f"unknown health mode {name!r}; expected one of {HEALTH_MODES}")
+    return name
+
+
+def resolve_health(name: Optional[str] = None) -> str:
+    """Resolve a possibly-empty mode request to a concrete mode.
+
+    Resolution order: explicit *name* > ``REPRO_HEALTH`` env var > the
+    ``observe`` default.  Raises ConfigurationError on unknown names from
+    either source.
+    """
+    if name:
+        return validate_health(name)
+    env = os.environ.get(HEALTH_ENV_VAR, "")
+    if env:
+        return validate_health(env)
+    return DEFAULT_HEALTH

@@ -1,0 +1,162 @@
+"""Structured health reports and the per-run log that accumulates them.
+
+A :class:`HealthReport` is one invariant violation: where it fired, at what
+simulation time, which invariant, how large the violation was against its
+threshold, what the policy did about it, and a short trend window of the
+most recent magnitudes for the same invariant (so a reader can tell a
+one-off glitch from a divergence ramp).  A :class:`HealthLog` collects the
+reports of one run together with repair counters, and serialises to a
+JSON-friendly summary that rides inside runner job values and journals.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+__all__ = ["HealthLog", "HealthReport", "TREND_WINDOW"]
+
+#: Number of recent magnitudes kept per invariant for the trend field.
+TREND_WINDOW = 5
+
+#: Hard cap on stored reports per log; a diverging run can fire one report
+#: per output interval, and the log must stay O(1) regardless.
+MAX_STORED_REPORTS = 256
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """One invariant violation observed by a monitor.
+
+    Attributes
+    ----------
+    where:
+        Dotted location of the monitor, e.g. ``"core.solver"``.
+    invariant:
+        Which invariant fired: ``"finiteness"``, ``"mass"``,
+        ``"positivity"``, ``"queue"``, ``"event-budget"``, ``"sim-time"``,
+        ``"step-size"`` or ``"residual"``.
+    time:
+        Simulation time (or iteration count) at which the check ran.
+    magnitude:
+        Size of the violation (units depend on the invariant).
+    threshold:
+        The limit the magnitude crossed.
+    action:
+        What the policy did: ``"abort"``, ``"repair"`` or ``"observe"``.
+    cell:
+        For grid/array invariants, the index of the first offending entry
+        (e.g. the first non-finite Fokker-Planck cell), else ``None``.
+    trend:
+        The most recent magnitudes recorded for this invariant (oldest
+        first, including this one), capped at :data:`TREND_WINDOW`.
+    message:
+        Human-readable one-liner.
+    """
+
+    where: str
+    invariant: str
+    time: float
+    magnitude: float
+    threshold: float
+    action: str
+    cell: Optional[Tuple[int, ...]] = None
+    trend: Tuple[float, ...] = ()
+    message: str = ""
+
+    def to_dict(self) -> dict:
+        """JSON-friendly payload (tuples become lists)."""
+        return {
+            "where": self.where,
+            "invariant": self.invariant,
+            "time": self.time,
+            "magnitude": self.magnitude,
+            "threshold": self.threshold,
+            "action": self.action,
+            "cell": list(self.cell) if self.cell is not None else None,
+            "trend": list(self.trend),
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HealthReport":
+        cell = data.get("cell")
+        return cls(
+            where=data["where"],
+            invariant=data["invariant"],
+            time=float(data["time"]),
+            magnitude=float(data["magnitude"]),
+            threshold=float(data["threshold"]),
+            action=data["action"],
+            cell=tuple(int(i) for i in cell) if cell is not None else None,
+            trend=tuple(float(v) for v in data.get("trend", ())),
+            message=data.get("message", ""),
+        )
+
+
+@dataclass
+class HealthLog:
+    """All health activity of one run: reports, repair counts, trends."""
+
+    mode: str
+    where: str = ""
+    reports: List[HealthReport] = field(default_factory=list)
+    repairs: Dict[str, int] = field(default_factory=dict)
+    n_reports: int = 0
+    _trends: Dict[str, Deque[float]] = field(default_factory=dict, repr=False)
+
+    def trend(self, invariant: str, magnitude: float) -> Tuple[float, ...]:
+        """Push *magnitude* into the invariant's trend window, return it."""
+        window = self._trends.get(invariant)
+        if window is None:
+            window = self._trends[invariant] = deque(maxlen=TREND_WINDOW)
+        window.append(float(magnitude))
+        return tuple(window)
+
+    def record(self, report: HealthReport) -> None:
+        """Count a report (stored verbatim up to a fixed cap)."""
+        self.n_reports += 1
+        if len(self.reports) < MAX_STORED_REPORTS:
+            self.reports.append(report)
+        if report.action == "repair":
+            self.repairs[report.invariant] = (
+                self.repairs.get(report.invariant, 0) + 1)
+
+    @property
+    def n_repairs(self) -> int:
+        """Total number of repairs applied across all invariants."""
+        return sum(self.repairs.values())
+
+    def merge(self, other: "HealthLog") -> None:
+        """Fold another log (e.g. from an ensemble shard) into this one."""
+        for report in other.reports:
+            if len(self.reports) < MAX_STORED_REPORTS:
+                self.reports.append(report)
+        self.n_reports += other.n_reports
+        for invariant, count in other.repairs.items():
+            self.repairs[invariant] = self.repairs.get(invariant, 0) + count
+
+    def summary(self) -> dict:
+        """JSON-friendly digest for job values / journals / CLI display."""
+        return {
+            "mode": self.mode,
+            "where": self.where,
+            "n_reports": self.n_reports,
+            "n_repairs": self.n_repairs,
+            "repairs": dict(self.repairs),
+            "reports": [report.to_dict() for report in self.reports],
+        }
+
+    @classmethod
+    def from_summary(cls, data: dict) -> "HealthLog":
+        """Rebuild a log from :meth:`summary` output (trend state is not
+        restored; only the recorded reports and counters are)."""
+        log = cls(mode=data.get("mode", "observe"),
+                  where=data.get("where", ""))
+        log.reports = [HealthReport.from_dict(r)
+                       for r in data.get("reports", ())]
+        log.repairs = {str(k): int(v)
+                       for k, v in data.get("repairs", {}).items()}
+        log.n_reports = int(data.get("n_reports", len(log.reports)))
+        return log

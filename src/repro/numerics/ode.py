@@ -25,12 +25,15 @@ per-trajectory time, step size and accept/reject mask.  Both return a
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
 
 import numpy as np
 
 from ..exceptions import ConvergenceError, StabilityError
 from .interpolate import interp_columns
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from ..health import HealthMonitor
 
 __all__ = ["euler_step", "rk4_step", "integrate_fixed", "integrate_adaptive",
            "integrate_fixed_batch", "integrate_adaptive_batch",
@@ -107,6 +110,7 @@ def integrate_fixed(rhs: RHS, initial_state: Sequence[float], t_end: float,
                     dt: float, t_start: float = 0.0,
                     projection: Optional[Callable[[np.ndarray], np.ndarray]] = None,
                     event: Optional[Callable[[float, np.ndarray], float]] = None,
+                    health: Optional["HealthMonitor"] = None,
                     ) -> ODEResult:
     """Integrate ``dx/dt = rhs(t, x)`` with fixed-step RK4.
 
@@ -124,6 +128,14 @@ def integrate_fixed(rhs: RHS, initial_state: Sequence[float], t_end: float,
     event:
         Optional scalar function of ``(t, state)``; integration stops at the
         first step where its sign changes (the terminal event).
+    health:
+        Optional :class:`~repro.health.HealthMonitor`.  When supplied, a
+        step size exceeding the horizon fires the ``step-size`` invariant,
+        and a non-finite state fires ``finiteness`` — typed abort under
+        ``strict``/``observe``, and under ``repair`` the whole integration
+        is retried at half the step (up to three halvings, each logged and
+        counted) before aborting.  ``None`` keeps the original unmonitored
+        behaviour exactly.
 
     Raises
     ------
@@ -134,33 +146,53 @@ def integrate_fixed(rhs: RHS, initial_state: Sequence[float], t_end: float,
         raise ConvergenceError("dt must be positive")
     if t_end <= t_start:
         raise ConvergenceError("t_end must exceed t_start")
+    if health is not None:
+        health.check_step_size(dt, t_end - t_start, label="fixed-step ODE")
+    halvings_left = 3 if health is not None and health.mode == "repair" else 0
 
-    state = np.asarray(initial_state, dtype=float).copy()
-    n_steps = int(np.ceil((t_end - t_start) / dt))
-    times: List[float] = [t_start]
-    states: List[np.ndarray] = [state.copy()]
-    event_time: Optional[float] = None
-    previous_event = event(t_start, state) if event is not None else None
+    while True:
+        state = np.asarray(initial_state, dtype=float).copy()
+        n_steps = int(np.ceil((t_end - t_start) / dt))
+        times: List[float] = [t_start]
+        states: List[np.ndarray] = [state.copy()]
+        event_time: Optional[float] = None
+        previous_event = event(t_start, state) if event is not None else None
 
-    t = t_start
-    for _ in range(n_steps):
-        step = min(dt, t_end - t)
-        state = rk4_step(rhs, t, state, step)
-        if projection is not None:
-            state = projection(state)
-        t += step
-        if not np.all(np.isfinite(state)):
-            raise StabilityError(f"ODE state became non-finite at t={t:.6g}")
-        times.append(t)
-        states.append(state.copy())
-        if event is not None:
-            current_event = event(t, state)
-            if previous_event is not None and previous_event * current_event < 0:
-                event_time = t
+        t = t_start
+        halved = False
+        for _ in range(n_steps):
+            step = min(dt, t_end - t)
+            state = rk4_step(rhs, t, state, step)
+            if projection is not None:
+                state = projection(state)
+            t += step
+            if not np.all(np.isfinite(state)):
+                if health is None:
+                    raise StabilityError(
+                        f"ODE state became non-finite at t={t:.6g}")
+                # "Halve dt and substep": the repair action restarts the
+                # whole march at half the step, so the retried run is
+                # deterministic rather than patched mid-flight.
+                repaired = health.check_finite_block(
+                    state[None, :], t, label="fixed-step ODE",
+                    repair=(lambda: None) if halvings_left > 0 else None,
+                    fatal=True)
+                if repaired:
+                    halvings_left -= 1
+                    dt = dt / 2.0
+                    halved = True
                 break
-            previous_event = current_event
-
-    return ODEResult(np.asarray(times), np.asarray(states), event_time)
+            times.append(t)
+            states.append(state.copy())
+            if event is not None:
+                current_event = event(t, state)
+                if previous_event is not None and previous_event * current_event < 0:
+                    event_time = t
+                    break
+                previous_event = current_event
+        if halved:
+            continue
+        return ODEResult(np.asarray(times), np.asarray(states), event_time)
 
 
 @dataclass
@@ -271,7 +303,9 @@ def integrate_fixed_batch(rhs: BatchRHS,
                           t_end: float, dt: float, t_start: float = 0.0,
                           projection: Optional[Callable[[np.ndarray], np.ndarray]] = None,
                           event: Optional[BatchRHS] = None,
-                          on_nonfinite: str = "raise") -> BatchODEResult:
+                          on_nonfinite: str = "raise",
+                          health: Optional["HealthMonitor"] = None
+                          ) -> BatchODEResult:
     """Integrate a ``(batch, dim)`` family with fixed-step RK4.
 
     Every trajectory sees exactly the floating-point operations of
@@ -305,6 +339,13 @@ def integrate_fixed_batch(rhs: BatchRHS,
         ``"mask"`` instead stops only the offending trajectories and flags
         them in ``BatchODEResult.failed`` so a parameter sweep survives
         isolated blow-ups.
+    health:
+        Optional :class:`~repro.health.HealthMonitor`.  Non-finite
+        trajectories fire the ``finiteness`` invariant: ``strict`` aborts
+        typed, ``repair`` degrades to the masking path regardless of
+        *on_nonfinite* (each degradation counted), ``observe`` records and
+        then honours *on_nonfinite* unchanged.  ``None`` keeps the
+        original unmonitored behaviour exactly.
     """
     if dt <= 0.0:
         raise ConvergenceError("dt must be positive")
@@ -312,6 +353,9 @@ def integrate_fixed_batch(rhs: BatchRHS,
         raise ConvergenceError("t_end must exceed t_start")
     if on_nonfinite not in ("raise", "mask"):
         raise ConvergenceError("on_nonfinite must be 'raise' or 'mask'")
+    if health is not None:
+        health.check_step_size(dt, t_end - t_start,
+                               label="batched fixed-step ODE")
 
     states = _as_state_block(initial_states)
     batch, dim = states.shape
@@ -349,7 +393,15 @@ def integrate_fixed_batch(rhs: BatchRHS,
 
         finite = np.isfinite(states).all(axis=1)
         if not finite.all():
-            if on_nonfinite == "raise":
+            mask_out = on_nonfinite == "mask"
+            if health is not None:
+                repaired = health.check_finite_block(
+                    states, t, label="batched fixed-step ODE",
+                    repair=lambda: None, fatal=not mask_out)
+                # strict (and observe under "raise") aborted inside the
+                # check; a repair means "degrade to masking".
+                mask_out = mask_out or repaired
+            if not mask_out:
                 raise StabilityError(
                     f"ODE state became non-finite at t={t:.6g}")
             failed[active[~finite]] = True
@@ -405,11 +457,15 @@ def integrate_adaptive(rhs: RHS, initial_state: Sequence[float], t_end: float,
                        atol: float = 1e-9, initial_dt: float = 1e-2,
                        max_dt: float = 1.0, min_dt: float = 1e-10,
                        projection: Optional[Callable[[np.ndarray], np.ndarray]] = None,
-                       max_steps: int = 2_000_000) -> ODEResult:
+                       max_steps: int = 2_000_000,
+                       health: Optional["HealthMonitor"] = None) -> ODEResult:
     """Integrate with the adaptive Runge-Kutta-Fehlberg 4(5) method.
 
     The step size is controlled so the estimated local error stays below
-    ``atol + rtol * |state|`` component-wise.
+    ``atol + rtol * |state|`` component-wise.  An optional *health* monitor
+    reports step-size collapse and non-finite states (typed abort under
+    ``strict``; record-only otherwise — the adaptive controller already
+    owns the step size, so there is no separate repair).
     """
     state = np.asarray(initial_state, dtype=float).copy()
     t = t_start
@@ -422,6 +478,9 @@ def integrate_adaptive(rhs: RHS, initial_state: Sequence[float], t_end: float,
             break
         dt = min(dt, t_end - t, max_dt)
         if dt < min_dt:
+            if health is not None:
+                health.check_min_step(dt, min_dt, t,
+                                      label="adaptive ODE")
             raise ConvergenceError(
                 "adaptive ODE step shrank below the minimum allowed",
                 residual=dt)
@@ -448,6 +507,10 @@ def integrate_adaptive(rhs: RHS, initial_state: Sequence[float], t_end: float,
                 state = projection(state)
             t += dt
             if not np.all(np.isfinite(state)):
+                if health is not None:
+                    health.check_finite_block(state[None, :], t,
+                                              label="adaptive ODE",
+                                              fatal=True)
                 raise StabilityError(
                     f"adaptive ODE state became non-finite at t={t:.6g}")
             times.append(t)
@@ -472,7 +535,9 @@ def integrate_adaptive_batch(rhs: BatchRHS,
                              initial_dt: float = 1e-2, max_dt: float = 1.0,
                              min_dt: float = 1e-10,
                              projection: Optional[Callable[[np.ndarray], np.ndarray]] = None,
-                             max_steps: int = 2_000_000) -> BatchODEResult:
+                             max_steps: int = 2_000_000,
+                             health: Optional["HealthMonitor"] = None
+                             ) -> BatchODEResult:
     """Adaptive Runge-Kutta-Fehlberg 4(5) over a ``(batch, dim)`` family.
 
     Each trajectory carries its own clock and step size; one loop iteration
@@ -514,6 +579,11 @@ def integrate_adaptive_batch(rhs: BatchRHS,
         t_act = t[active]
         dt_act = np.minimum(np.minimum(dt[active], t_end - t_act), max_dt)
         if (dt_act < min_dt).any():
+            if health is not None:
+                worst = int(np.argmin(dt_act))
+                health.check_min_step(float(dt_act.min()), min_dt,
+                                      float(t_act[worst]),
+                                      label="batched adaptive ODE")
             raise ConvergenceError(
                 "adaptive ODE step shrank below the minimum allowed",
                 residual=float(dt_act.min()))
@@ -545,6 +615,10 @@ def integrate_adaptive_batch(rhs: BatchRHS,
             t_new = t_act[accepted] + dt_act[accepted]
             if not np.isfinite(updated).all():
                 bad = t_new[~np.isfinite(updated).all(axis=1)]
+                if health is not None:
+                    health.check_finite_block(updated, float(bad[0]),
+                                              label="batched adaptive ODE",
+                                              fatal=True)
                 raise StabilityError(
                     f"adaptive ODE state became non-finite at "
                     f"t={float(bad[0]):.6g}")

@@ -19,11 +19,14 @@ against known moments of geometric Brownian motion.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 import numpy as np
 
 from ..exceptions import ConvergenceError
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..health import HealthMonitor
 
 __all__ = ["euler_maruyama", "milstein", "SDEPaths"]
 
@@ -72,11 +75,14 @@ class SDEPaths:
 def _simulate(drift: Drift, diffusion: Diffusion, initial: np.ndarray,
               t_end: float, dt: float, n_paths: int, rng: np.random.Generator,
               projection: Optional[Callable[[np.ndarray], np.ndarray]],
-              record_every: int, milstein_correction: bool) -> SDEPaths:
+              record_every: int, milstein_correction: bool,
+              health: Optional["HealthMonitor"] = None) -> SDEPaths:
     if dt <= 0.0:
         raise ConvergenceError("dt must be positive")
     if n_paths < 1:
         raise ConvergenceError("n_paths must be at least 1")
+    if health is not None:
+        health.check_step_size(dt, t_end, label="SDE integrator")
 
     initial = np.asarray(initial, dtype=float)
     dim = initial.shape[-1] if initial.ndim > 0 else 1
@@ -117,6 +123,21 @@ def _simulate(drift: Drift, diffusion: Diffusion, initial: np.ndarray,
             states = projection(states)
         t += dt
         if step_index % record_every == 0 or step_index == n_steps:
+            if health is not None:
+                bad = ~np.isfinite(states)
+                if bad.any():
+
+                    def _hold_last(states=states, bad=bad,
+                                   previous=snapshots[record_index - 1]):
+                        # Replace non-finite entries with the path's last
+                        # recorded value (held constant); the path is
+                        # flagged by the report rather than poisoning the
+                        # whole ensemble's moments.
+                        np.copyto(states, previous, where=bad)
+
+                    health.check_finite_block(states, t,
+                                              label="SDE path block",
+                                              repair=_hold_last)
             times[record_index] = t
             snapshots[record_index] = states
             record_index += 1
@@ -128,7 +149,8 @@ def euler_maruyama(drift: Drift, diffusion: Diffusion, initial: np.ndarray,
                    t_end: float, dt: float, n_paths: int,
                    rng: Optional[np.random.Generator] = None,
                    projection: Optional[Callable[[np.ndarray], np.ndarray]] = None,
-                   record_every: int = 1) -> SDEPaths:
+                   record_every: int = 1,
+                   health: Optional["HealthMonitor"] = None) -> SDEPaths:
     """Simulate sample paths with the Euler-Maruyama scheme.
 
     Parameters
@@ -148,20 +170,27 @@ def euler_maruyama(drift: Drift, diffusion: Diffusion, initial: np.ndarray,
         Optional constraint projection (e.g. clip the queue at zero).
     record_every:
         Record a snapshot every this many steps to bound memory use.
+    health:
+        Optional :class:`~repro.health.HealthMonitor`.  At every record
+        point the path block is checked for finiteness: ``strict`` aborts
+        typed, ``repair`` holds diverged paths at their last recorded
+        value (counted), ``observe`` records the report only.  ``None``
+        keeps the original unmonitored behaviour exactly.
     """
     rng = rng if rng is not None else np.random.default_rng()
     return _simulate(drift, diffusion, np.asarray(initial, dtype=float), t_end,
                      dt, n_paths, rng, projection, record_every,
-                     milstein_correction=False)
+                     milstein_correction=False, health=health)
 
 
 def milstein(drift: Drift, diffusion: Diffusion, initial: np.ndarray,
              t_end: float, dt: float, n_paths: int,
              rng: Optional[np.random.Generator] = None,
              projection: Optional[Callable[[np.ndarray], np.ndarray]] = None,
-             record_every: int = 1) -> SDEPaths:
+             record_every: int = 1,
+             health: Optional["HealthMonitor"] = None) -> SDEPaths:
     """Simulate sample paths with the Milstein scheme (adds the ``b b'`` term)."""
     rng = rng if rng is not None else np.random.default_rng()
     return _simulate(drift, diffusion, np.asarray(initial, dtype=float), t_end,
                      dt, n_paths, rng, projection, record_every,
-                     milstein_correction=True)
+                     milstein_correction=True, health=health)

@@ -22,6 +22,8 @@ from typing import Dict, List, Optional, Tuple
 
 from ..control.window import DECbitWindow, JacobsonWindow
 from ..exceptions import ConfigurationError
+from ..health import HealthMonitor, consume_numerical_fault
+from ..health.report import HealthLog
 from ..multisource.fairness import jain_fairness_index
 from .events import resolve_engine
 from .packet import Packet
@@ -61,6 +63,7 @@ class MultiHopResult:
     node_mean_queue: Dict[str, float]
     losses: Dict[str, int]
     events_executed: int = 0
+    health: Optional[HealthLog] = None
 
     def fairness_index(self) -> float:
         """Jain index of the per-route throughputs."""
@@ -93,13 +96,20 @@ class MultiHopSimulator:
     time-weighted moments), under ``"none"`` they are reported as NaN.
     """
 
+    #: Segment count for monitored runs; checks run at each boundary.
+    HEALTH_SEGMENTS = 8
+
     def __init__(self, config: MultiHopConfig, engine: str = "fast",
                  retention: str = "full",
-                 memmap_dir: Optional[str] = None):
+                 memmap_dir: Optional[str] = None,
+                 health: str = "",
+                 max_events: Optional[int] = None):
         self.config = config
         self.engine = engine
         self.retention = retention
         self.memmap_dir = memmap_dir
+        self.health = health
+        self.max_events = max_events
         self.events = resolve_engine(engine)()
         self.streams = RandomStreams(config.seed)
         # One trace per node for queue lengths; one global trace for
@@ -218,11 +228,23 @@ class MultiHopSimulator:
         """Run the multi-hop simulation for *duration* time units."""
         if duration <= 0.0:
             raise ConfigurationError("duration must be positive")
+        monitor = HealthMonitor.create(self.health,
+                                       where="queueing.multihop")
         for trace in self._node_traces.values():
             trace.queue_length.record(0.0, 0.0)
+        if consume_numerical_fault("negative-queue"):
+            # Deterministic chaos hook: poison the first node's trace with
+            # a negative queue-length sample halfway through the run.
+            first = next(iter(self._node_traces))
+            sink = self._node_traces[first].queue_length
+            self.events.schedule_call(
+                duration / 2.0, lambda: sink.append(duration / 2.0, -1.0))
         for source in self._sources:
             source.start(at_time=0.0)
-        executed = self.events.run_until(duration)
+        if monitor is None:
+            executed = self.events.run_until(duration)
+        else:
+            executed = self._run_monitored(duration, monitor)
 
         deliveries = self.connection_trace.deliveries
         losses = self.connection_trace.losses
@@ -245,7 +267,40 @@ class MultiHopSimulator:
         return MultiHopResult(config=self.config, duration=duration,
                               throughputs=throughputs, hop_counts=hop_counts,
                               node_mean_queue=node_mean_queue,
-                              losses=loss_counts, events_executed=executed)
+                              losses=loss_counts, events_executed=executed,
+                              health=monitor.log if monitor else None)
+
+    def _run_monitored(self, duration: float,
+                       monitor: HealthMonitor) -> int:
+        """Segmented event-loop drain with per-boundary invariant checks.
+
+        Behaviour-identical to one ``run_until(duration)`` call (see
+        :meth:`Simulator._run_monitored <repro.queueing.simulator.Simulator._run_monitored>`);
+        every node's live queue length and most recent recorded sample are
+        checked at each segment boundary.
+        """
+        executed = 0
+        segments = self.HEALTH_SEGMENTS
+        for index in range(1, segments + 1):
+            segment_end = (duration if index == segments
+                           else duration * index / segments)
+            executed += self.events.run_until(segment_end)
+            now = self.events.current_time
+            monitor.check_sim_time(now, segment_end)
+            monitor.check_event_budget(executed, self.max_events, now)
+            for name, node in self._nodes.items():
+                monitor.check_queue_value(name, float(node.queue_length), now)
+                sink = self._node_traces[name].queue_length
+                sample = sink.last_value()
+                if sample is not None and sample < 0.0:
+
+                    def _clamp(sink=sink, now=now) -> None:
+                        sink.append(now, 0.0)
+
+                    monitor.check_queue_value(f"{name}/sample",
+                                              float(sample), now,
+                                              repair=_clamp)
+        return executed
 
 
 def parking_lot_scenario(n_extra_hops: int = 2, service_rate: float = 10.0,

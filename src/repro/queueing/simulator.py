@@ -18,6 +18,8 @@ import numpy as np
 from ..control.registry import create_control
 from ..control.window import DECbitWindow, JacobsonWindow
 from ..exceptions import ConfigurationError
+from ..health import HealthMonitor, consume_numerical_fault
+from ..health.report import HealthLog
 from ..multisource.fairness import jain_fairness_index
 from .events import EVENT_ENGINES, resolve_engine
 from .feedback import FeedbackChannel
@@ -53,6 +55,7 @@ class SimulationResult:
     duration: float
     throughputs: Dict[int, float]
     events_executed: int = 0
+    health: Optional[HealthLog] = None
 
     @property
     def mean_queue(self) -> float:
@@ -115,13 +118,31 @@ class Simulator:
     memmap_dir:
         Under ``retention="full"``, spill trace columns to ``numpy.memmap``
         files in this directory instead of RAM.
+    health:
+        Numerical health policy (see :mod:`repro.health`): ``""`` defers
+        to ``REPRO_HEALTH`` / the ``observe`` default; ``"off"`` runs the
+        event loop in one unmonitored ``run_until`` call, bit-identical
+        to the pre-health engine.  Monitored modes split the horizon into
+        a few segments and check queue non-negativity, the event budget
+        and sim-time progress at each boundary.
+    max_events:
+        Optional total-event budget; exceeding it fires the
+        ``event-budget`` invariant (abort under ``strict``).  ``None``
+        (default) disables the budget.
     """
+
+    #: Segment count for monitored runs; checks run at each boundary.
+    HEALTH_SEGMENTS = 8
 
     def __init__(self, config: NetworkConfig, engine: str = "fast",
                  retention: str = "full",
-                 memmap_dir: Optional[str] = None):
+                 memmap_dir: Optional[str] = None,
+                 health: str = "",
+                 max_events: Optional[int] = None):
         self.config = config
         self.engine = engine
+        self.health = health
+        self.max_events = max_events
         self.events = resolve_engine(engine)()
         self.trace = SimulationTrace(retention=retention,
                                      memmap_dir=memmap_dir)
@@ -237,11 +258,23 @@ class Simulator:
         """Run the simulation for *duration* time units and return the result."""
         if duration <= 0.0:
             raise ConfigurationError("duration must be positive")
+        monitor = HealthMonitor.create(self.health,
+                                       where="queueing.simulator")
         self.trace.queue_length.record(0.0, 0.0)
+        if consume_numerical_fault("negative-queue"):
+            # Deterministic chaos hook: record an impossible negative
+            # queue-length sample halfway through the run so the
+            # queue-invariant monitor can be exercised end to end.
+            sink = self.trace.queue_length
+            self.events.schedule_call(
+                duration / 2.0, lambda: sink.append(duration / 2.0, -1.0))
         for source, source_config in zip(self._sources, self.config.sources,
                                          strict=True):
             source.start(at_time=source_config.start_time)
-        executed = self.events.run_until(duration)
+        if monitor is None:
+            executed = self.events.run_until(duration)
+        else:
+            executed = self._run_monitored(duration, monitor)
 
         throughputs = {
             index: self.trace.deliveries.get(index, 0) / duration
@@ -249,4 +282,42 @@ class Simulator:
         }
         return SimulationResult(config=self.config, trace=self.trace,
                                 duration=duration, throughputs=throughputs,
-                                events_executed=executed)
+                                events_executed=executed,
+                                health=monitor.log if monitor else None)
+
+    def _run_monitored(self, duration: float,
+                       monitor: HealthMonitor) -> int:
+        """Drain the event loop in segments, checking invariants between.
+
+        Segmenting ``run_until`` is behaviour-identical to one call (both
+        engines execute every event with time <= t_end and then advance
+        ``current_time`` to the boundary); the boundaries simply give the
+        monitor deterministic points to look at queue state, the event
+        budget and sim-time progress without touching the per-event path.
+        """
+        executed = 0
+        segments = self.HEALTH_SEGMENTS
+        for index in range(1, segments + 1):
+            segment_end = (duration if index == segments
+                           else duration * index / segments)
+            executed += self.events.run_until(segment_end)
+            now = self.events.current_time
+            monitor.check_sim_time(now, segment_end)
+            monitor.check_event_budget(executed, self.max_events, now)
+            self._check_queue_state(monitor, now)
+        return executed
+
+    def _check_queue_state(self, monitor: HealthMonitor, now: float) -> None:
+        monitor.check_queue_value("bottleneck",
+                                  float(self.bottleneck.queue_length), now)
+        sink = self.trace.queue_length
+        sample = sink.last_value()
+        if sample is not None and sample < 0.0:
+
+            def _clamp() -> None:
+                # A corrective sample at the same timestamp zeroes the width
+                # of the negative interval under every retention policy.
+                sink.append(now, 0.0)
+
+            monitor.check_queue_value("bottleneck/sample", float(sample),
+                                      now, repair=_clamp)

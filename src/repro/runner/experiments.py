@@ -57,6 +57,14 @@ __all__ = [
 # addresses them by ``module:qualname`` and hashes their keyword overrides.
 # ---------------------------------------------------------------------------
 
+def _with_health(value: dict, log) -> dict:
+    """Attach a health-log summary to a job value — only when it has
+    something to say, so healthy runs keep their pre-health value shape
+    (and the ``repro health`` replay can tell quiet from unmonitored)."""
+    if log is not None and log.n_reports:
+        value["health"] = log.summary()
+    return value
+
 def theorem1_point(params: SystemParameters,
                    t_end: Optional[float] = None) -> dict:
     """Verify Theorem 1 convergence for one parameter combination.
@@ -137,7 +145,7 @@ def density_point(params: SystemParameters, t_end: float = 60.0,
         time_params=TimeParameters(t_end=t_end, dt=max(t_end / 300.0, 0.1),
                                    snapshot_every=snapshot_every))
     moments = result.final_moments
-    return {
+    value = {
         "mean_queue": float(moments.mean_q),
         "std_queue": float(moments.std_q),
         "overflow_probability":
@@ -151,6 +159,7 @@ def density_point(params: SystemParameters, t_end: float = 60.0,
             for snapshot in result.snapshots
         ],
     }
+    return _with_health(value, result.health)
 
 
 def delay_point(params: SystemParameters, delay: float,
@@ -194,12 +203,12 @@ def ensemble_point(params: SystemParameters, seed: int, t_end: float = 60.0,
         samples = ensemble.final_queue_samples()
         mean_queue = float(np.mean(samples))
         std_queue = float(np.std(samples))
-    return {
+    return _with_health({
         "mean_queue": mean_queue,
         "std_queue": std_queue,
         "overflow_probability":
             float(ensemble.overflow_probability(2.0 * params.q_target)),
-    }
+    }, ensemble.health)
 
 
 def fairness_point(params: SystemParameters, n_sources: int = 4,
@@ -219,12 +228,12 @@ def fairness_point(params: SystemParameters, n_sources: int = 4,
 
 
 def multihop_point(extra_hops: int = 2, duration: float = 300.0,
-                   service_rate: float = 10.0) -> dict:
+                   service_rate: float = 10.0, health: str = "") -> dict:
     """Parking-lot multihop unfairness metrics (no continuous parameters)."""
     config = parking_lot_scenario(n_extra_hops=extra_hops,
                                   service_rate=service_rate)
-    result = MultiHopSimulator(config).run(duration=duration)
-    return {
+    result = MultiHopSimulator(config, health=health).run(duration=duration)
+    return _with_health({
         "extra_hops": int(extra_hops),
         "long_to_short_ratio": float(result.long_to_short_ratio()),
         "jain_index": float(result.fairness_index()),
@@ -232,7 +241,7 @@ def multihop_point(extra_hops: int = 2, duration: float = 300.0,
             {"route": name, "hops": int(hops), "throughput": float(tp)}
             for hops, name, tp in result.throughput_by_hop_count()
         ],
-    }
+    }, result.health)
 
 
 def packet_point(seed: int = 0, n_sources: int = 2, duration: float = 200.0,
@@ -252,6 +261,7 @@ def des_scenario_point(scenario: str, duration: float = 120.0,
                        seed: Optional[int] = None, engine: str = "fast",
                        retention: str = "full",
                        memmap_dir: Optional[str] = None,
+                       health: str = "",
                        **scenario_kwargs) -> dict:
     """Run one registered DES scenario and report its headline metrics.
 
@@ -260,7 +270,9 @@ def des_scenario_point(scenario: str, duration: float = 120.0,
     per job by the matrix layer) overrides the builder's default seed.
     ``retention`` selects the trace data plane's history policy (see
     :mod:`repro.dataplane`); queue averages are reported as NaN under
-    ``"none"``, which keeps only counters.
+    ``"none"``, which keeps only counters.  ``health`` selects the
+    numerical health policy for the run; non-empty report logs ride in
+    the value under ``"health"``.
     """
     spec = get_scenario(scenario)
     if seed is not None:
@@ -270,9 +282,10 @@ def des_scenario_point(scenario: str, duration: float = 120.0,
     if spec.kind == "multihop":
         result = MultiHopSimulator(config, engine=engine,
                                    retention=retention,
-                                   memmap_dir=memmap_dir).run(duration)
+                                   memmap_dir=memmap_dir,
+                                   health=health).run(duration)
         throughputs = list(result.throughputs.values())
-        return {
+        return _with_health({
             "scenario": scenario,
             "kind": spec.kind,
             "jain_index": float(result.fairness_index()),
@@ -281,13 +294,13 @@ def des_scenario_point(scenario: str, duration: float = 120.0,
             "max_node_mean_queue":
                 float(max(result.node_mean_queue.values())),
             "events_executed": int(result.events_executed),
-        }
+        }, result.health)
 
     result = Simulator(config, engine=engine, retention=retention,
-                       memmap_dir=memmap_dir).run(duration)
+                       memmap_dir=memmap_dir, health=health).run(duration)
     mean_queue = (float("nan") if retention == "none"
                   else float(result.mean_queue))
-    return {
+    return _with_health({
         "scenario": scenario,
         "kind": spec.kind,
         "jain_index": float(result.fairness_index()),
@@ -295,7 +308,7 @@ def des_scenario_point(scenario: str, duration: float = 120.0,
         "mean_queue": mean_queue,
         "total_losses": int(result.total_losses),
         "events_executed": int(result.events_executed),
-    }
+    }, result.health)
 
 
 def stationary_point(params: SystemParameters, nq: int = 48, nv: int = 36,
@@ -309,7 +322,7 @@ def stationary_point(params: SystemParameters, nq: int = 48, nv: int = 36,
     density = solve_stationary(params, grid_params=grid, dt=dt, method=method,
                                backend=backend, delay=delay)
     estimate = density.estimate
-    return {
+    return _with_health({
         "mean_queue": float(estimate.mean_queue),
         "std_queue": float(estimate.std_queue),
         "mean_growth_rate": float(estimate.mean_growth_rate),
@@ -319,7 +332,7 @@ def stationary_point(params: SystemParameters, nq: int = 48, nv: int = 36,
         "method": str(estimate.method),
         "backend": str(estimate.backend),
         "dt": float(estimate.dt),
-    }
+    }, density.health)
 
 
 def design_chunk_point(params: SystemParameters,
@@ -393,16 +406,23 @@ class MatrixDefinition:
     ``supports_retention=True`` additionally accept ``retention=`` and
     ``memmap_dir=`` keywords threading the trace data plane's history
     policy into every job (``repro run --retention/--memmap-dir``).
+    Builders with ``supports_health=True`` additionally accept a
+    ``health=`` keyword that arms the numerical-health monitor inside
+    every job (``repro run --health``); matrices whose jobs carry
+    :class:`~repro.config.SystemParameters` thread the policy through
+    ``params.health`` instead.
     """
 
     name: str
     description: str
     build: Callable[..., List[JobSpec]]
     supports_retention: bool = False
+    supports_health: bool = False
 
 
 def _dataplane_fixed(fixed: Dict[str, object], retention: str,
-                     memmap_dir: Optional[str]) -> Dict[str, object]:
+                     memmap_dir: Optional[str],
+                     health: str = "") -> Dict[str, object]:
     """Merge non-default data-plane knobs into a builder's fixed overrides.
 
     Defaults are *omitted* rather than spelled out so the job content hash
@@ -413,6 +433,8 @@ def _dataplane_fixed(fixed: Dict[str, object], retention: str,
         fixed["retention"] = str(retention)
     if memmap_dir is not None:
         fixed["memmap_dir"] = str(memmap_dir)
+    if health:
+        fixed["health"] = str(health)
     return fixed
 
 
@@ -469,20 +491,22 @@ def _theorem1_grid(params: SystemParameters, seed: Optional[int],
 
 def _des_dumbbell_grid(params: SystemParameters, seed: Optional[int],
                        t_end: Optional[float], retention: str = "full",
-                       memmap_dir: Optional[str] = None) -> List[JobSpec]:
+                       memmap_dir: Optional[str] = None,
+                       health: str = "") -> List[JobSpec]:
     return build_matrix(
         des_scenario_point, None,
         axes={"n_sources": [8, 32, 64]},
         fixed=_dataplane_fixed(
             {"scenario": "dumbbell",
              "duration": t_end if t_end is not None else 60.0},
-            retention, memmap_dir),
+            retention, memmap_dir, health),
         master_seed=seed)
 
 
 def _des_parking_lot_grid(params: SystemParameters, seed: Optional[int],
                           t_end: Optional[float], retention: str = "full",
-                          memmap_dir: Optional[str] = None) -> List[JobSpec]:
+                          memmap_dir: Optional[str] = None,
+                          health: str = "") -> List[JobSpec]:
     return build_matrix(
         des_scenario_point, None,
         axes={"n_extra_hops": [1, 2, 4],
@@ -490,33 +514,35 @@ def _des_parking_lot_grid(params: SystemParameters, seed: Optional[int],
         fixed=_dataplane_fixed(
             {"scenario": "parking-lot",
              "duration": t_end if t_end is not None else 200.0},
-            retention, memmap_dir),
+            retention, memmap_dir, health),
         master_seed=seed)
 
 
 def _des_chain_grid(params: SystemParameters, seed: Optional[int],
                     t_end: Optional[float], retention: str = "full",
-                    memmap_dir: Optional[str] = None) -> List[JobSpec]:
+                    memmap_dir: Optional[str] = None,
+                    health: str = "") -> List[JobSpec]:
     return build_matrix(
         des_scenario_point, None,
         axes={"n_hops": [2, 4, 8]},
         fixed=_dataplane_fixed(
             {"scenario": "chain",
              "duration": t_end if t_end is not None else 200.0},
-            retention, memmap_dir),
+            retention, memmap_dir, health),
         master_seed=seed)
 
 
 def _des_mesh_grid(params: SystemParameters, seed: Optional[int],
                    t_end: Optional[float], retention: str = "full",
-                   memmap_dir: Optional[str] = None) -> List[JobSpec]:
+                   memmap_dir: Optional[str] = None,
+                   health: str = "") -> List[JobSpec]:
     return build_matrix(
         des_scenario_point, None,
         axes={"n_routes": [6, 12], "max_hops": [2, 4]},
         fixed=_dataplane_fixed(
             {"scenario": "mesh", "n_nodes": 8,
              "duration": t_end if t_end is not None else 150.0},
-            retention, memmap_dir),
+            retention, memmap_dir, health),
         master_seed=seed)
 
 
@@ -572,19 +598,19 @@ _MATRICES: Dict[str, MatrixDefinition] = {
     "des-dumbbell": MatrixDefinition(
         "des-dumbbell",
         "packet-level dumbbell scaling over n_sources (3 jobs, seeded)",
-        _des_dumbbell_grid, supports_retention=True),
+        _des_dumbbell_grid, supports_retention=True, supports_health=True),
     "des-parking-lot": MatrixDefinition(
         "des-parking-lot",
         "parking-lot unfairness over hops x scheme (6 jobs, seeded)",
-        _des_parking_lot_grid, supports_retention=True),
+        _des_parking_lot_grid, supports_retention=True, supports_health=True),
     "des-chain": MatrixDefinition(
         "des-chain",
         "N-hop chain with cross traffic over n_hops (3 jobs, seeded)",
-        _des_chain_grid, supports_retention=True),
+        _des_chain_grid, supports_retention=True, supports_health=True),
     "des-mesh": MatrixDefinition(
         "des-mesh",
         "random-mesh DES over n_routes x max_hops (4 jobs, seeded)",
-        _des_mesh_grid, supports_retention=True),
+        _des_mesh_grid, supports_retention=True, supports_health=True),
     "des-crossval": MatrixDefinition(
         "des-crossval",
         "DES-vs-FP agreement over sigma x n_sources (4 jobs, seeded)",

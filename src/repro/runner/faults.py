@@ -42,6 +42,7 @@ from dataclasses import asdict, dataclass
 from typing import Optional, Tuple
 
 from ..exceptions import ConfigurationError, TransientJobError, WorkerCrashError
+from ..health import arm_numerical_fault, reset_numerical_faults
 from .spec import JobSpec
 
 __all__ = [
@@ -92,6 +93,18 @@ class FaultPlan:
     sleep_every / sleep_seconds / sleep_attempts:
         Sleep before running the job, long enough to trip the executor's
         per-job ``timeout=`` watchdog.
+    nan_density_every / nan_density_attempts:
+        Arm the ``nan-density`` numerical fault for the selected jobs: the
+        next Fokker-Planck solve in the job poisons one density cell with
+        NaN, so the finiteness monitor (and its repair/abort policies) can
+        be exercised end to end.  Unlike the process-level hooks this is a
+        *deterministic numerical* fault: under ``--health=strict`` it
+        surfaces as a typed, non-retryable
+        :class:`~repro.exceptions.NonFiniteStateError`.
+    negative_queue_every / negative_queue_attempts:
+        Arm the ``negative-queue`` numerical fault: the next DES run in
+        the job records an impossible negative queue-length sample halfway
+        through the horizon, exercising the queue-invariant monitor.
     match_labels:
         When non-empty, restrict every hook to jobs whose spec label is in
         this tuple (exact-match chaos for targeted tests).
@@ -105,10 +118,15 @@ class FaultPlan:
     sleep_every: Optional[int] = None
     sleep_seconds: float = 0.0
     sleep_attempts: int = 1
+    nan_density_every: Optional[int] = None
+    nan_density_attempts: int = 1
+    negative_queue_every: Optional[int] = None
+    negative_queue_attempts: int = 1
     match_labels: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
-        for name in ("kill_every", "transient_every", "sleep_every"):
+        for name in ("kill_every", "transient_every", "sleep_every",
+                     "nan_density_every", "negative_queue_every"):
             value = getattr(self, name)
             if value is not None and value < 1:
                 raise ConfigurationError(f"FaultPlan.{name} must be >= 1")
@@ -141,16 +159,33 @@ class FaultPlan:
         return attempt < self.sleep_attempts \
             and self._selects("sleep", self.sleep_every, spec)
 
+    def poisons_density(self, spec: JobSpec, attempt: int) -> bool:
+        return attempt < self.nan_density_attempts \
+            and self._selects("nan-density", self.nan_density_every, spec)
+
+    def poisons_queue(self, spec: JobSpec, attempt: int) -> bool:
+        return attempt < self.negative_queue_attempts \
+            and self._selects("negative-queue", self.negative_queue_every,
+                              spec)
+
     # -- the worker-side hook ----------------------------------------------
 
     def apply(self, spec: JobSpec, attempt: int) -> None:
         """Inject this plan's faults for *spec* on 0-based *attempt*.
 
         Called by the executor immediately before the job function runs,
-        in whichever process executes the job.  Sleeps are applied first
-        (so a sleeping job can still be killed by the watchdog), then
-        kills, then in-job transient raises.
+        in whichever process executes the job.  Numerical faults are
+        (re-)armed first -- the registry is cleared each time so a job
+        that is *not* selected never inherits a poison left over from an
+        earlier job in the same worker process.  Then sleeps (so a
+        sleeping job can still be killed by the watchdog), then kills,
+        then in-job transient raises.
         """
+        reset_numerical_faults()
+        if self.poisons_density(spec, attempt):
+            arm_numerical_fault("nan-density")
+        if self.poisons_queue(spec, attempt):
+            arm_numerical_fault("negative-queue")
         if self.sleeps(spec, attempt) and self.sleep_seconds > 0.0:
             time.sleep(self.sleep_seconds)
         if self.kills(spec, attempt):

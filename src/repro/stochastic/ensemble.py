@@ -37,6 +37,8 @@ from ..core.moments import marginal_q
 from ..core.solver import FokkerPlanckResult
 from ..dataplane import StreamingHistogram, StreamingMoments, validate_retention
 from ..exceptions import AnalysisError, ConfigurationError
+from ..health import HealthMonitor, resolve_health
+from ..health.report import HealthLog
 from ..numerics.sde import SDEPaths
 from ..numerics.stats import empirical_density
 from ..queueing.random_streams import child_seed_sequences
@@ -170,6 +172,8 @@ class EnsembleResult:
     retention: str = "full"
     paths: Optional[SDEPaths] = None
     stats: Optional[EnsembleStats] = None
+    #: Merged per-shard health log (``None`` when the run was unmonitored).
+    health: Optional[HealthLog] = None
 
     def __post_init__(self) -> None:
         validate_retention(self.retention)
@@ -351,12 +355,24 @@ def shard_sizes(n_paths: int, n_shards: int) -> List[int]:
 def _simulate_shard(control: RateControl, params: SystemParameters,
                     q0: float, rate0: float, t_end: float, dt: float,
                     n_paths: int, feedback_delay: float,
-                    seed_sequence: np.random.SeedSequence) -> SDEPaths:
-    """Run one shard of an ensemble (module-level so it can cross processes)."""
+                    seed_sequence: np.random.SeedSequence,
+                    health_mode: str = "off",
+                    shard_index: int = 0
+                    ) -> Tuple[SDEPaths, Optional[dict]]:
+    """Run one shard of an ensemble (module-level so it can cross processes).
+
+    Returns the shard's paths plus its health-log summary (``None`` when
+    unmonitored); the summary is a JSON dict so it pickles across worker
+    processes regardless of how the log is later merged.
+    """
+    monitor = HealthMonitor.create(
+        health_mode, where=f"stochastic.ensemble/shard{shard_index}")
     model = LangevinModel(control, params, feedback_delay=feedback_delay)
-    return model.simulate(q0=q0, rate0=rate0, t_end=t_end, dt=dt,
-                          n_paths=n_paths,
-                          rng=np.random.default_rng(seed_sequence))
+    paths = model.simulate(q0=q0, rate0=rate0, t_end=t_end, dt=dt,
+                           n_paths=n_paths,
+                           rng=np.random.default_rng(seed_sequence),
+                           health=monitor)
+    return paths, (monitor.log.summary() if monitor is not None else None)
 
 
 def _fold_shard(stats: Optional[EnsembleStats], shard: SDEPaths,
@@ -417,6 +433,18 @@ def _combine_full(shards: List[SDEPaths],
     return SDEPaths(times=shards[0].times, paths=combined)
 
 
+def _merged_health(summaries: Sequence[Optional[dict]],
+                   mode: str) -> Optional[HealthLog]:
+    """Fold per-shard health summaries (shard-index order) into one log."""
+    logs = [HealthLog.from_summary(s) for s in summaries if s is not None]
+    if not logs:
+        return None
+    merged = HealthLog(mode=mode, where="stochastic.ensemble")
+    for log in logs:
+        merged.merge(log)
+    return merged
+
+
 def run_ensemble(control: RateControl, params: SystemParameters, q0: float,
                  rate0: float, t_end: float, dt: float = 0.02,
                  n_paths: int = 2000, feedback_delay: float = 0.0,
@@ -427,7 +455,8 @@ def run_ensemble(control: RateControl, params: SystemParameters, q0: float,
                  retention: str = "full",
                  memmap_dir: Optional[str] = None,
                  histogram_edges: Optional[np.ndarray] = None,
-                 overflow_thresholds: Optional[Sequence[float]] = None
+                 overflow_thresholds: Optional[Sequence[float]] = None,
+                 health: Optional[str] = None
                  ) -> EnsembleResult:
     """Run a Langevin ensemble with the given control law and parameters.
 
@@ -451,8 +480,16 @@ def run_ensemble(control: RateControl, params: SystemParameters, q0: float,
     (``overflow_thresholds``, default ``(2 * params.q_target,)``).
     Moments-mode runs integrate exactly the same sample paths as the
     full-mode run with the same ``(seed, n_paths, n_shards)``.
+
+    ``health`` selects the numerical-health policy (falling back to
+    ``params.health``, then the ``REPRO_HEALTH`` environment / the
+    ``observe`` default): each shard runs under its own monitor, and the
+    per-shard logs are merged in shard-index order into
+    :attr:`EnsembleResult.health`.  ``"off"`` is bit-identical to the
+    unmonitored engine.
     """
     validate_retention(retention)
+    health_mode = resolve_health(health or params.health or None)
     if seed is not None and rng is not None:
         raise ConfigurationError("pass either rng= or seed=, not both")
     if seed is None and (n_jobs > 1 or (n_shards or 1) > 1):
@@ -469,10 +506,13 @@ def run_ensemble(control: RateControl, params: SystemParameters, q0: float,
         histogram_edges = np.asarray(histogram_edges, dtype=float)
 
     if seed is None:
+        monitor = HealthMonitor.create(health_mode,
+                                       where="stochastic.ensemble")
         model = LangevinModel(control, params, feedback_delay=feedback_delay)
         paths = model.simulate(q0=q0, rate0=rate0, t_end=t_end, dt=dt,
-                               n_paths=n_paths, rng=rng)
-        return EnsembleResult(paths=paths, mu=params.mu)
+                               n_paths=n_paths, rng=rng, health=monitor)
+        return EnsembleResult(paths=paths, mu=params.mu,
+                              health=monitor.log if monitor else None)
 
     if n_shards is None:
         n_shards = DEFAULT_SHARDS
@@ -485,44 +525,57 @@ def run_ensemble(control: RateControl, params: SystemParameters, q0: float,
                     max_workers=min(n_jobs, len(sizes))) as pool:
                 futures = [pool.submit(_simulate_shard, control, params, q0,
                                        rate0, t_end, dt, size, feedback_delay,
-                                       shard_seed)
-                           for size, shard_seed
-                           in zip(sizes, seeds, strict=True)]
-                shards = [future.result() for future in futures]
+                                       shard_seed, health_mode, index)
+                           for index, (size, shard_seed)
+                           in enumerate(zip(sizes, seeds, strict=True))]
+                results = [future.result() for future in futures]
         else:
-            shards = [_simulate_shard(control, params, q0, rate0, t_end, dt,
-                                      size, feedback_delay, shard_seed)
-                      for size, shard_seed in zip(sizes, seeds, strict=True)]
+            results = [_simulate_shard(control, params, q0, rate0, t_end, dt,
+                                       size, feedback_delay, shard_seed,
+                                       health_mode, index)
+                       for index, (size, shard_seed)
+                       in enumerate(zip(sizes, seeds, strict=True))]
+        shards = [paths for paths, _ in results]
         # Shards are concatenated in shard-index order (never completion
         # order), which is what makes the result independent of scheduling.
-        return EnsembleResult(paths=_combine_full(shards, memmap_dir),
-                              mu=params.mu)
+        return EnsembleResult(
+            paths=_combine_full(shards, memmap_dir), mu=params.mu,
+            health=_merged_health([summary for _, summary in results],
+                                  health_mode))
 
     # Streamed retention: fold shard-by-shard in shard-index order (the fold
     # order is part of the reproducibility contract), keeping at most the
     # in-flight window of shard results alive.
     stats: Optional[EnsembleStats] = None
+    summaries: List[Optional[dict]] = []
     if n_jobs > 1 and len(sizes) > 1:
-        work = deque(zip(sizes, seeds, strict=True))
+        work = deque(enumerate(zip(sizes, seeds, strict=True)))
         window = min(n_jobs, len(sizes)) + 1
         with ProcessPoolExecutor(max_workers=min(n_jobs, len(sizes))) as pool:
             pending: deque = deque()
             while work or pending:
                 while work and len(pending) < window:
-                    size, shard_seed = work.popleft()
+                    index, (size, shard_seed) = work.popleft()
                     pending.append(pool.submit(
                         _simulate_shard, control, params, q0, rate0, t_end,
-                        dt, size, feedback_delay, shard_seed))
-                stats = _fold_shard(stats, pending.popleft().result(),
+                        dt, size, feedback_delay, shard_seed, health_mode,
+                        index))
+                shard, summary = pending.popleft().result()
+                summaries.append(summary)
+                stats = _fold_shard(stats, shard,
                                     retention, histogram_edges,
                                     overflow_thresholds)
     else:
-        for size, shard_seed in zip(sizes, seeds, strict=True):
-            shard = _simulate_shard(control, params, q0, rate0, t_end, dt,
-                                    size, feedback_delay, shard_seed)
+        for index, (size, shard_seed) in enumerate(
+                zip(sizes, seeds, strict=True)):
+            shard, summary = _simulate_shard(control, params, q0, rate0,
+                                             t_end, dt, size, feedback_delay,
+                                             shard_seed, health_mode, index)
+            summaries.append(summary)
             stats = _fold_shard(stats, shard, retention, histogram_edges,
                                 overflow_thresholds)
-    return EnsembleResult(mu=params.mu, retention=retention, stats=stats)
+    return EnsembleResult(mu=params.mu, retention=retention, stats=stats,
+                          health=_merged_health(summaries, health_mode))
 
 
 def compare_with_density(ensemble: EnsembleResult,

@@ -2,13 +2,16 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from ..config import SystemParameters
 from ..control.base import RateControl
 from ..numerics.sde import SDEPaths, euler_maruyama
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..health import HealthMonitor
 
 __all__ = ["LangevinModel"]
 
@@ -41,13 +44,16 @@ class LangevinModel:
         self.feedback_delay = float(feedback_delay)
 
     def simulate(self, q0: float, rate0: float, t_end: float, dt: float,
-                 n_paths: int, rng: Optional[np.random.Generator] = None
-                 ) -> SDEPaths:
+                 n_paths: int, rng: Optional[np.random.Generator] = None,
+                 health: Optional["HealthMonitor"] = None) -> SDEPaths:
         """Simulate *n_paths* particles from the common start ``(q0, rate0)``.
 
         Without delay the simulation delegates to the generic Euler-Maruyama
         integrator; with delay a dedicated loop maintains a circular history
-        of queue positions per particle.
+        of queue positions per particle.  An optional *health* monitor
+        checks the recorded path blocks for finiteness (``repair`` holds
+        diverged paths at their last recorded value); ``None`` keeps the
+        unmonitored behaviour exactly.
         """
         rng = rng if rng is not None else np.random.default_rng(20210214)
         mu = self.params.mu
@@ -74,13 +80,17 @@ class LangevinModel:
                                   initial=np.array([q0, rate0]),
                                   t_end=t_end, dt=dt, n_paths=n_paths,
                                   rng=rng, projection=project,
-                                  record_every=max(1, int(round(0.5 / dt))))
+                                  record_every=max(1, int(round(0.5 / dt))),
+                                  health=health)
 
-        return self._simulate_with_delay(q0, rate0, t_end, dt, n_paths, rng)
+        return self._simulate_with_delay(q0, rate0, t_end, dt, n_paths, rng,
+                                         health=health)
 
     def _simulate_with_delay(self, q0: float, rate0: float, t_end: float,
                              dt: float, n_paths: int,
-                             rng: np.random.Generator) -> SDEPaths:
+                             rng: np.random.Generator,
+                             health: Optional["HealthMonitor"] = None
+                             ) -> SDEPaths:
         mu = self.params.mu
         sigma = self.params.sigma
         delay_steps = max(1, int(round(self.feedback_delay / dt)))
@@ -125,6 +135,17 @@ class LangevinModel:
 
             t += dt
             if step % record_every == 0 or step == n_steps:
+                if health is not None:
+                    bad = ~np.isfinite(states)
+                    if bad.any():
+
+                        def _hold_last(states=states, bad=bad,
+                                       previous=snapshots[record_index - 1]):
+                            np.copyto(states, previous, where=bad)
+
+                        health.check_finite_block(states, t,
+                                                  label="delayed Langevin block",
+                                                  repair=_hold_last)
                 times[record_index] = t
                 snapshots[record_index] = states
                 record_index += 1

@@ -116,9 +116,9 @@ class TestShardedEnsemble:
         # Shard 2 recomputed in isolation (no siblings ever created) must
         # reproduce its slice of the combined ensemble exactly.
         sizes = shard_sizes(n_paths, n_shards)
-        alone = _simulate_shard(jrj_control, noisy_params, 0.0, 0.5, 10.0,
-                                0.05, sizes[2], 0.0,
-                                child_seed_sequence(seed, ("ensemble", 2)))
+        alone, _ = _simulate_shard(jrj_control, noisy_params, 0.0, 0.5, 10.0,
+                                   0.05, sizes[2], 0.0,
+                                   child_seed_sequence(seed, ("ensemble", 2)))
         start = sum(sizes[:2])
         np.testing.assert_array_equal(
             combined.paths.paths[:, start:start + sizes[2], :], alone.paths)

@@ -68,6 +68,7 @@ from .analysis import (
 )
 from .characteristics import verify_theorem1
 from .config import GridParameters, SystemParameters
+from .core.stepper import available_steppers
 from .exceptions import ConfigurationError
 from .runner import (
     JobSpec,
@@ -96,7 +97,8 @@ __all__ = ["main", "build_parser"]
 def _system_parameters(args: argparse.Namespace) -> SystemParameters:
     return SystemParameters(mu=args.mu, q_target=args.q_target, c0=args.c0,
                             c1=args.c1, sigma=getattr(args, "sigma", 0.0),
-                            health=getattr(args, "health", None) or "")
+                            health=getattr(args, "health", None) or "",
+                            stepper=getattr(args, "stepper", None) or "")
 
 
 def _add_common_parameters(parser: argparse.ArgumentParser) -> None:
@@ -143,6 +145,16 @@ def _add_dataplane_options(parser: argparse.ArgumentParser) -> None:
                         help="spill full-history arrays to memory-mapped "
                              "scratch files under PATH instead of RAM "
                              "(retention=full only)")
+
+
+def _add_stepper_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--stepper", choices=available_steppers(),
+                        default=None,
+                        help="Fokker-Planck marching scheme: 'axis' is the "
+                             "per-axis split (dense Crank-Nicolson "
+                             "diffusion), 'adi' the 2-D Peaceman-Rachford "
+                             "operator split on the sparse backend path "
+                             "(default axis; see docs/performance.md)")
 
 
 def _add_health_option(parser: argparse.ArgumentParser) -> None:
@@ -229,6 +241,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="diffusion coefficient (default 0.5)")
     density.add_argument("--t-end", type=float, default=150.0,
                          help="integration horizon (default 150)")
+    _add_stepper_option(density)
+    density.add_argument("--nq", type=int, default=120,
+                         help="queue grid points (default 120)")
+    density.add_argument("--nv", type=int, default=90,
+                         help="growth-rate grid points (default 90)")
 
     sweep = subparsers.add_parser(
         "delay-sweep", help="oscillation amplitude/period versus feedback delay")
@@ -320,11 +337,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="splitting step for the stationary solve / "
                              "trajectory step for the sweep (default: "
                              "auto / 0.1)")
-    design.add_argument("--method", choices=["splitting", "generator"],
+    design.add_argument("--method", choices=["splitting", "generator", "adi"],
                         default="splitting",
                         help="stationary operator: the one-step splitting "
-                             "fixed point (matches marching) or the "
-                             "continuous generator")
+                             "fixed point (matches marching), the "
+                             "continuous generator, or 'adi' (alias of "
+                             "'generator': the ADI fixed point is the "
+                             "generator null vector)")
+    _add_stepper_option(design)
     design.add_argument("--backend", default=None,
                         help="numerics backend for the null-space solve "
                              "(default: the configured backend)")
@@ -417,7 +437,8 @@ def _run_theorem1(args: argparse.Namespace) -> int:
 def _run_density(args: argparse.Namespace) -> int:
     params = _system_parameters(args)
     job = JobSpec(density_point, params=params,
-                  overrides={"t_end": args.t_end, "nq": 120, "nv": 90})
+                  overrides={"t_end": args.t_end, "nq": args.nq,
+                             "nv": args.nv})
     value = _run_matrix([job], args).outcomes[0].value
     print(format_table(value["snapshots"],
                        title="Fokker-Planck moments over time"))

@@ -139,6 +139,14 @@ class SystemParameters(ParameterDictMixin):
         numerics, and ``"off"`` disables monitoring entirely
         (bit-identical to the unmonitored code paths).  See
         :mod:`repro.health`.
+    stepper:
+        Time-marching scheme of the Fokker-Planck solver: ``""``/
+        ``"axis"`` (the default) selects the per-axis splitting that is
+        bit-identical to the historical solver, ``"adi"`` the
+        Peaceman-Rachford 2-D operator-split stepper whose implicit
+        half-steps run on the sparse-operator backend kernels (larger
+        stable steps, scales to grids the dense path cannot).  See
+        :mod:`repro.core.stepper`.
     """
 
     mu: float = 1.0
@@ -148,6 +156,7 @@ class SystemParameters(ParameterDictMixin):
     sigma: float = 0.0
     backend: str = ""
     health: str = ""
+    stepper: str = ""
 
     def __post_init__(self) -> None:
         _require(self.mu > 0.0, f"service rate mu must be positive, got {self.mu}")
@@ -162,10 +171,17 @@ class SystemParameters(ParameterDictMixin):
         from .health.policy import is_known_health
         _require(is_known_health(self.health),
                  f"unknown health mode {self.health!r}")
+        from .core.stepper import is_known_stepper
+        _require(is_known_stepper(self.stepper),
+                 f"unknown FP stepper {self.stepper!r}")
 
     def with_backend(self, backend: str) -> "SystemParameters":
         """Return a copy of these parameters pinned to a kernel *backend*."""
         return replace(self, backend=backend)
+
+    def with_stepper(self, stepper: str) -> "SystemParameters":
+        """Return a copy of these parameters pinned to an FP *stepper*."""
+        return replace(self, stepper=stepper)
 
     def with_health(self, health: str) -> "SystemParameters":
         """Return a copy of these parameters pinned to a *health* policy."""

@@ -292,6 +292,54 @@ class DiscreteGenerator:
                 self._diffusivity / (self.grid.dq * self.grid.dq)))
         return combined.to_operator()
 
+    def q_direction_bands(self):
+        """Bands of ``A₁ = G_q + diffusion`` in ν-major ordering.
+
+        Returns ``(lower, diag, upper)`` length-``n`` arrays of the
+        q-direction transport operator under the *transposed* flattening
+        ``k' = j·nq + i``.  In that ordering the ``±nv`` couplings of the
+        row-major matrix become ``±1`` couplings that vanish at every
+        ``nq``-block boundary — one independent tridiagonal system per
+        ν-column, the implicit half of the Peaceman-Rachford step.
+        """
+        combined = self._g_q
+        if self._diffusivity > 0.0:
+            combined = combined.plus(self._laplacian.scaled(
+                self._diffusivity / (self.grid.dq * self.grid.dq)))
+        nq, nv = self.grid.shape
+        zeros = np.zeros(self.n)
+
+        def permute(diag: np.ndarray) -> np.ndarray:
+            return np.ascontiguousarray(diag.reshape(nq, nv).T).ravel()
+
+        return (permute(combined.data.get(-nv, zeros)),
+                permute(combined.data.get(0, zeros)),
+                permute(combined.data.get(nv, zeros)))
+
+    def v_direction_bands(self, drift: Optional[np.ndarray] = None):
+        """Bands of ``A₂ = G_ν`` in the native row-major ordering.
+
+        Returns ``(lower, diag, upper)`` length-``n`` arrays; the ``±1``
+        couplings already vanish at every ``nv``-block boundary (no-flux
+        ν-walls), so the flat matrix is one independent tridiagonal system
+        per q-row.  Passing *drift* rebuilds the bands for a new drift field
+        on the same grid without touching the stored operator — the delayed-
+        feedback solver updates the ν-transport every segment this way.
+        """
+        if drift is None:
+            g_v = self._g_v
+        else:
+            drift = np.asarray(drift, dtype=float)
+            if drift.shape != self.grid.shape:
+                raise ConfigurationError(
+                    f"drift shape {drift.shape} does not match grid "
+                    f"{self.grid.shape}")
+            g_v = _v_advection_generator(self.grid, drift)
+        zeros = np.zeros(self.n)
+        return (g_v.data.get(-1, zeros).copy(),
+                g_v.data.get(0, zeros).copy(),
+                g_v.data.get(1, zeros).copy())
+
     def diffusion_number(self, dt: float) -> float:
         """The Crank-Nicolson diffusion number ``r`` for step *dt*.
 

@@ -5,13 +5,15 @@ of queue length and queue growth rate under
 
     f_t + ν f_q + (g f)_ν = (σ²/2) f_qq
 
-using operator splitting per step:
+using a pluggable marching scheme (see :mod:`repro.core.stepper`):
 
-1. upwind advection along ``q`` with velocity ``ν`` (explicit, CFL-limited),
-2. upwind advection along ``ν`` with velocity ``g(q, λ)`` (explicit,
-   CFL-limited),
-3. Crank-Nicolson diffusion along ``q`` with diffusivity ``σ²/2``
-   (implicit, unconditionally stable).
+* ``stepper="axis"`` (the default) is the historical per-axis splitting —
+  explicit upwind advection along ``q``, explicit upwind advection along
+  ``ν``, Crank-Nicolson diffusion along ``q`` — kept bit-identical to the
+  pre-seam solver;
+* ``stepper="adi"`` is the Peaceman-Rachford 2-D operator-split scheme
+  whose implicit half-steps run on the sparse-operator backend kernels and
+  which scales to grids the dense per-axis path cannot reach.
 
 The solver automatically sub-cycles the requested output step so the
 explicit sub-steps respect the CFL condition, records snapshots of the full
@@ -33,11 +35,9 @@ from ..health import HealthMonitor, consume_numerical_fault
 from ..health.report import HealthLog
 from ..numerics.backend import get_backend
 from ..numerics.grids import PhaseGrid2D
-from .advection import (UpwindAdvection, cfl_time_step_from_speeds,
-                        shared_scratch_size)
 from .boundary import BoundaryConditions
-from .diffusion import CrankNicolsonDiffusion
 from .initial import gaussian_initial_density
+from .stepper import get_stepper
 from .moments import DensityMoments, compute_moments, marginal_q, tail_probability
 
 __all__ = ["FokkerPlanckSolver", "FokkerPlanckResult", "DensitySnapshot"]
@@ -162,18 +162,13 @@ class FokkerPlanckSolver:
         self._static_drift = np.asarray(
             control.drift_in_growth_coordinates(q_mesh, v_mesh, params.mu),
             dtype=float)
-        # Kernel backend plus the reusable hot-loop machinery: one shared
-        # scratch arena (the advection and diffusion kernels use their
-        # scratch at disjoint times within a substep, so overlaying them
-        # keeps the working set cache-resident), preallocated upwind
-        # workspaces, the cached Crank-Nicolson operator and a ping-pong
-        # work buffer shared by every solve() on this instance.
+        # Kernel backend plus the marching stepper, which owns all reusable
+        # hot-loop machinery (scratch arenas, preallocated kernel
+        # workspaces, cached implicit operators); the solver keeps only the
+        # ping-pong work buffer shared by every solve() on this instance.
         self.backend = get_backend(params.backend or None)
-        arena = np.empty(shared_scratch_size(self.grid))
-        self._advection = UpwindAdvection(self.grid, scratch=arena)
-        self._diffusion = CrankNicolsonDiffusion(self.grid, params.sigma,
-                                                 backend=self.backend,
-                                                 scratch=arena)
+        self.stepper = get_stepper(params.stepper or None)(
+            self.grid, params.sigma, self.backend, self.boundary)
         self._work_a = np.empty(self.grid.shape)
 
     def default_initial_density(self, q0: float, rate0: float) -> np.ndarray:
@@ -235,25 +230,20 @@ class FokkerPlanckSolver:
         # undelayed case) the drift, its interface decomposition, max |g| and
         # therefore the free-running CFL step are all constant over the whole
         # integration, so every substep reuses them -- and, because the
-        # substep dt repeats, every Crank-Nicolson substep hits the cached
-        # operator for its diffusion number.
+        # substep dt repeats, every implicit substep hits the stepper's
+        # cached operator for its step size.
         grid = self.grid
-        advection = self._advection
-        diffusion = self._diffusion
+        stepper = self.stepper
         boundary = self.boundary
-        reflect_q_zero = boundary.reflect_q_zero
         absorbing = boundary.absorb_q_max
-        sigma_zero = self.params.sigma == 0.0
         cfl = time_params.cfl
         static_drift = self.delayed_queue_provider is None
+        stepper.begin(static_drift, monitor is not None)
         if static_drift:
-            advection.set_drift(self._static_drift)
-            free_dt = cfl_time_step_from_speeds(
-                grid, advection.max_abs_drift, cfl, max_dt=np.inf)
+            stepper.set_drift(self._static_drift)
+            free_dt = stepper.free_running_dt(cfl)
         work = self._work_a
-        advect_q = advection.advect_q
-        advect_v = advection.advect_v
-        diffusion_step = diffusion.step
+        advance = stepper.advance
 
         for output_index in range(1, n_outputs + 1):
             target_time = min(output_index * output_dt, time_params.t_end)
@@ -261,30 +251,9 @@ class FokkerPlanckSolver:
                 if static_drift:
                     dt = min(target_time - t, free_dt)
                 else:
-                    advection.set_drift(self._drift_field(t))
-                    dt = cfl_time_step_from_speeds(
-                        grid, advection.max_abs_drift, cfl,
-                        max_dt=target_time - t)
-                # Two buffers suffice: each kernel's input is dead once it
-                # has run, so its buffer becomes the next kernel's output.
-                # The σ > 0 path uses the fast kernel variants (prescaled
-                # velocities, no intermediate clamp, flush-clamped output);
-                # the σ = 0 path keeps the bit-exact reference arithmetic.
-                advect_q(density, dt, reflect_q_zero, work,
-                         not sigma_zero, sigma_zero)
-                if sigma_zero:
-                    # The diffusion step is a no-op: the ν-advection output
-                    # (written over the dead pre-step density) is the state.
-                    advect_v(work, dt, density)
-                else:
-                    # flush=True zeroes the far-tail values the advection
-                    # re-creates below the diffusion flush threshold:
-                    # products of two sub-threshold magnitudes inside the
-                    # Crank-Nicolson matmul land in the (microcode-slow)
-                    # IEEE subnormal range.
-                    advect_v(work, dt, density, True, static_drift)
-                    diffusion_step(density, dt, work)
-                    density, work = work, density
+                    stepper.set_drift(self._drift_field(t))
+                    dt = stepper.bounded_dt(cfl, target_time - t)
+                density, work = advance(density, dt, work)
                 if absorbing:
                     _, absorbed = boundary.apply_post_step(density, grid,
                                                            inplace=True)
@@ -305,6 +274,9 @@ class FokkerPlanckSolver:
             else:
                 monitor.check_fp_density(density, grid, t,
                                          absorbed=absorbed_total)
+                # Steppers with internal intermediates (the ADI half-step
+                # state) surface them to the monitor at the same cadence.
+                stepper.record_health(monitor, t)
 
             if (output_index % steps_between_snapshots == 0
                     or output_index == n_outputs):

@@ -17,6 +17,15 @@ density) while reproducing the delay-induced oscillation of the mean --
 which is the Section 7 phenomenon of interest.  Its fidelity is checked
 against the Langevin Monte-Carlo ensemble with per-particle delay in the
 integration tests.
+
+The marching scheme follows ``params.stepper`` like the plain solver.  With
+``stepper="adi"`` the time-dependent drift re-installs the ν-direction
+transport every substep, which invalidates the stepper's cached implicit
+ν-operator and forces one banded refactorization per substep; the static
+q-direction operator (advection + diffusion) keeps its cache.  The per-axis
+default re-derives only the upwind interface drift, so for heavily delayed
+runs on small grids ``"axis"`` can remain the faster choice — see
+``docs/performance.md``.
 """
 
 from __future__ import annotations

@@ -184,12 +184,17 @@ def _solve_operator(generator: DiscreteGenerator, method: str, dt: float,
     """Run the null-vector solve for one assembled operator."""
     if method == "splitting":
         operator = generator.splitting_matrix(dt)
-    elif method == "generator":
+    elif method in ("generator", "adi"):
+        # The Peaceman-Rachford recurrence fixes exactly the null vector of
+        # the continuous discrete generator (no splitting error), so the
+        # stationary density of an ADI march is the "generator" solve;
+        # "adi" is accepted as an alias to make that correspondence
+        # explicit for callers marching with stepper="adi".
         operator = generator.generator()
     else:
         raise ConfigurationError(
-            f"unknown stationary method {method!r}; choose 'splitting' or "
-            f"'generator'")
+            f"unknown stationary method {method!r}; choose 'splitting', "
+            f"'generator' or 'adi'")
     backend = get_backend(backend_name)
     vector, info = backend.stationary_null_vector(
         operator.rows, operator.cols, operator.values, operator.n,
@@ -224,8 +229,13 @@ def solve_stationary(params: SystemParameters,
         substeps of exactly its ``dt``, so passing that value here makes the
         solve match that run's tail to solver tolerance.
     method:
-        ``"splitting"`` (matches the marching fixed point) or
-        ``"generator"`` (continuous-time operator).
+        ``"splitting"`` (matches the per-axis marching fixed point),
+        ``"generator"`` (continuous-time operator), or ``"adi"`` (alias of
+        ``"generator"``: the ADI stepper's fixed point carries no
+        splitting error, so its marched tail is the generator null
+        vector).  At large grids (nq in the thousands) use the scipy
+        backend, whose sparse ``splu`` inverse iteration scales where the
+        numpy dense reference solve cannot.
     backend:
         Backend registry name; defaults to ``params.backend`` resolution.
     seed:

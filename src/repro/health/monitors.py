@@ -159,6 +159,41 @@ class HealthMonitor:
                 message=(f"total mass {mass:.12g} drifted {drift:.3e} from "
                          f"conservation target {expected:.12g} at t={t:.6g}"))
 
+    def check_fp_half_step(self, intermediate: np.ndarray, grid,
+                           t: float) -> None:
+        """Finiteness and positivity of an ADI half-step intermediate.
+
+        The Peaceman-Rachford intermediate ``f*`` is a genuine density
+        candidate (its upwind half is positivity-preserving and its
+        implicit factor is an M-matrix), so non-finite values or negatives
+        beyond rounding noise flag the same failures the committed-density
+        checks do — caught half a step earlier.  Mass is *not* checked
+        here: the intermediate legitimately differs from the conservation
+        target by in-flight boundary outflow, which only the committed
+        density accounts for.  The stashed copy is never mutated, so there
+        is no repair; ``repair`` mode degrades to observe.
+        """
+        total = float(intermediate.sum())
+        if not (total < np.inf):
+            bad = np.flatnonzero(~np.isfinite(intermediate.ravel()))
+            n_bad = int(bad.size)
+            cell = (int(bad[0]),) if n_bad else None
+            self._fire(
+                "finiteness", time=t, magnitude=float(n_bad), threshold=0.0,
+                error_cls=NonFiniteStateError, cell=cell, fatal=True,
+                message=(f"ADI half-step intermediate non-finite at "
+                         f"t={t:.6g}: {n_bad} bad cells, first at {cell}"))
+
+        min_value = float(intermediate.min())
+        if min_value < -NEGATIVE_TOLERANCE:
+            cell = (int(np.argmin(intermediate)),)
+            self._fire(
+                "positivity", time=t, magnitude=-min_value,
+                threshold=NEGATIVE_TOLERANCE, error_cls=NegativeDensityError,
+                cell=cell,
+                message=(f"ADI half-step intermediate cell {cell} negative "
+                         f"({min_value:.3e}) at t={t:.6g}"))
+
     def _fire_non_finite_density(self, density: np.ndarray, grid, t: float,
                                  absorbed: float) -> None:
         bad = np.flatnonzero(~np.isfinite(density.ravel()))

@@ -124,7 +124,10 @@ class MultiSourceFokkerPlanck:
         Optional phase-grid override.  The default rate axis of the
         single-source grid is usually wide enough because the aggregate
         growth rate still lives in ``[−μ, ...]``; widen it for very
-        aggressive parameter sets.
+        aggressive parameter sets.  Large many-source studies that need a
+        fine aggregate grid should pair it with
+        ``params.with_stepper("adi")``: the aggregate drift is static, so
+        the ADI operator caches persist across the whole march.
     """
 
     def __init__(self, sources: Sequence[SourceParameters],

@@ -13,6 +13,20 @@ without touching the physics code:
   importable, falling back to ``scipy.linalg.solve_banded`` if the low-level
   wrappers are missing.
 
+Besides the tridiagonal kernels, every backend supplies a *sparse-operator*
+kernel family used by the 2-D ADI stepper and the direct stationary solves:
+
+* :meth:`NumericsBackend.factorize_sparse` turns a COO matrix into a
+  reusable factorization with a ``solve(rhs, out=None)`` method.  The scipy
+  backend routes through ``scipy.sparse.linalg.splu`` (any sparsity
+  pattern); the numpy backend stays self-contained with a pure-numpy banded
+  path -- tridiagonal patterns run on the Thomas kernels (vectorized across
+  independent blocks when the caller supplies ``block_size``), and small
+  general patterns fall back to a dense solve.
+* :meth:`NumericsBackend.stationary_null_vector` solves ``M p = 0`` for the
+  mass-normalised stationary density (dense row replacement on numpy,
+  ``splu`` shifted inverse iteration on scipy).
+
 Both backends must agree to tight tolerances; the parity is enforced by the
 unit tests.  Backend selection order:
 
@@ -35,7 +49,7 @@ from typing import Callable, Dict, Optional
 import numpy as np
 
 from ..exceptions import ConfigurationError, ConvergenceError
-from .tridiag import TridiagonalFactorization
+from .tridiag import BatchedTridiagonalFactorization, TridiagonalFactorization
 
 __all__ = [
     "BACKEND_ENV_VAR",
@@ -92,11 +106,12 @@ def _normalize_null_vector(vector: np.ndarray, weights: np.ndarray
 class NumericsBackend:
     """Base class for kernel backends.
 
-    A backend supplies factorized tridiagonal solvers and a sparse
-    stationary null-vector solve; everything else in the PDE pipeline is
-    backend-independent numpy.  Subclasses must set :attr:`name` and
-    implement :meth:`factorize_tridiagonal`; the null-vector solve is
-    optional (the design subsystem checks for it).
+    A backend supplies factorized tridiagonal solvers, reusable sparse
+    factorizations and a sparse stationary null-vector solve; everything
+    else in the PDE pipeline is backend-independent numpy.  Subclasses must
+    set :attr:`name` and implement :meth:`factorize_tridiagonal`; the
+    sparse-operator kernels are optional (the ADI stepper and the design
+    subsystem check for them).
     """
 
     #: Registry name of the backend.
@@ -115,6 +130,31 @@ class NumericsBackend:
                           upper: np.ndarray, rhs: np.ndarray) -> np.ndarray:
         """One-shot tridiagonal solve (factorize then solve)."""
         return self.factorize_tridiagonal(lower, diag, upper).solve(rhs)
+
+    def factorize_sparse(self, rows: np.ndarray, cols: np.ndarray,
+                         values: np.ndarray, n: int,
+                         block_size: Optional[int] = None):
+        """Factorize a COO matrix into an object with ``solve(rhs, out=None)``.
+
+        The returned factorization is reusable: callers cache it keyed by
+        the operator identity (the ADI stepper keys its cache per time step,
+        like the PR 2 Crank-Nicolson operator cache) and call ``solve``
+        against length-``n`` vectors every substep.
+
+        Parameters
+        ----------
+        rows, cols, values, n:
+            The matrix in COO triplet form (duplicate entries sum).
+        block_size:
+            Structure hint: when given, the matrix is expected to decouple
+            into ``n // block_size`` independent tridiagonal blocks of that
+            size (the shape of the ADI half-step operators in their
+            direction-contiguous orderings).  Backends with a general sparse
+            factorization may ignore it; the pure-numpy fallback uses it to
+            run all blocks through one vectorized batched Thomas solve.
+        """
+        raise NotImplementedError(
+            f"backend {self.name!r} does not implement sparse factorizations")
 
     def stationary_null_vector(self, rows: np.ndarray, cols: np.ndarray,
                                values: np.ndarray, n: int,
@@ -163,6 +203,117 @@ class NumericsBackend:
         return f"<{type(self).__name__} name={self.name!r}>"
 
 
+#: Largest dimension for which the numpy backend falls back to a dense
+#: factorization when a sparse pattern is not tridiagonal.  The dense
+#: fallback inverts the matrix once (O(n³)), so it is only meant for small
+#: operators; every pattern the ADI stepper produces is tridiagonal in its
+#: direction-contiguous ordering and never hits this path.
+DENSE_SPARSE_LIMIT = 2048
+
+#: Largest dimension for which the numpy backend runs its dense
+#: row-replacement stationary null solve (n² floats of memory, O(n³) work;
+#: 20000² doubles is ~3.2 GB).  Larger stationary problems need the scipy
+#: backend's sparse inverse iteration.
+DENSE_NULL_LIMIT = 20000
+
+
+def _coo_tridiagonal_bands(rows: np.ndarray, cols: np.ndarray,
+                           values: np.ndarray, n: int):
+    """``(lower, diag, upper)`` when all entries sit on offsets −1/0/+1.
+
+    Returns ``None`` for any other sparsity pattern.  Duplicate COO entries
+    sum, matching the dense materialisation semantics of
+    :class:`repro.core.generator.SparseOperator`.
+    """
+    offsets = cols - rows
+    if offsets.size and (int(offsets.min()) < -1 or int(offsets.max()) > 1):
+        return None
+    lower = np.zeros(n)
+    diag = np.zeros(n)
+    upper = np.zeros(n)
+    for offset, band in ((-1, lower), (0, diag), (1, upper)):
+        mask = offsets == offset
+        np.add.at(band, rows[mask], values[mask])
+    return lower, diag, upper
+
+
+class _FlatTridiagonalFactorization:
+    """Length-``n`` vector interface over one Thomas factorization."""
+
+    def __init__(self, lower: np.ndarray, diag: np.ndarray,
+                 upper: np.ndarray):
+        self._factorization = TridiagonalFactorization(lower, diag, upper)
+        self.n = int(np.asarray(diag).shape[0])
+
+    def solve(self, rhs: np.ndarray, out: Optional[np.ndarray] = None
+              ) -> np.ndarray:
+        return self._factorization.solve(rhs, out=out)
+
+
+class _BlockTridiagonalFactorization:
+    """Vectorized solve of a tridiagonal matrix made of independent blocks.
+
+    The ADI half-step operators are tridiagonal in their direction-contiguous
+    orderings *and* their off-diagonals vanish at every block boundary (no
+    physical coupling crosses a grid line of the other axis), so the flat
+    system splits into ``n // block_size`` independent systems solved as one
+    batched Thomas sweep -- the pure-numpy banded fallback that keeps the
+    numpy backend self-contained at production grid sizes.
+    """
+
+    def __init__(self, lower: np.ndarray, diag: np.ndarray,
+                 upper: np.ndarray, block_size: int):
+        n = diag.shape[0]
+        blocks = n // block_size
+        self._batched = BatchedTridiagonalFactorization(
+            lower.reshape(blocks, block_size),
+            diag.reshape(blocks, block_size),
+            upper.reshape(blocks, block_size))
+        self.n = n
+        self._blocks = blocks
+        self._block_size = block_size
+
+    def solve(self, rhs: np.ndarray, out: Optional[np.ndarray] = None
+              ) -> np.ndarray:
+        rhs = np.asarray(rhs, dtype=float)
+        if rhs.shape != (self.n,):
+            raise ValueError(f"rhs must have shape ({self.n},), got {rhs.shape}")
+        if out is None:
+            out = np.empty(self.n)
+        stacked = out.reshape(self._blocks, self._block_size)
+        if stacked.base is None:
+            raise ValueError("out must be a contiguous length-n vector")
+        self._batched.solve(rhs.reshape(self._blocks, self._block_size),
+                            out=stacked)
+        return out
+
+
+class _DenseFallbackFactorization:
+    """Dense inverse for small non-banded patterns (numpy fallback)."""
+
+    def __init__(self, rows: np.ndarray, cols: np.ndarray,
+                 values: np.ndarray, n: int):
+        dense = np.zeros((n, n))
+        np.add.at(dense, (rows, cols), values)
+        try:
+            self._inverse = np.linalg.inv(dense)
+        except np.linalg.LinAlgError as error:
+            raise ConvergenceError(
+                f"dense sparse-fallback factorization failed: {error}"
+            ) from error
+        self.n = n
+
+    def solve(self, rhs: np.ndarray, out: Optional[np.ndarray] = None
+              ) -> np.ndarray:
+        rhs = np.asarray(rhs, dtype=float)
+        if rhs.shape != (self.n,):
+            raise ValueError(f"rhs must have shape ({self.n},), got {rhs.shape}")
+        if out is None:
+            return self._inverse @ rhs
+        np.matmul(self._inverse, rhs, out=out)
+        return out
+
+
 class NumpyBackend(NumericsBackend):
     """Reference backend: pure-numpy Thomas algorithm and dense null solve."""
 
@@ -170,6 +321,35 @@ class NumpyBackend(NumericsBackend):
 
     def factorize_tridiagonal(self, lower, diag, upper):
         return TridiagonalFactorization(lower, diag, upper)
+
+    def factorize_sparse(self, rows, cols, values, n, block_size=None):
+        """Pure-numpy banded fallback of the sparse kernel family.
+
+        Tridiagonal patterns run on the Thomas kernels -- vectorized across
+        independent blocks when *block_size* is given and the off-diagonals
+        really do vanish at every block boundary (the structure of both ADI
+        half-step operators).  Small general patterns fall back to a dense
+        inverse; larger ones need the scipy backend.
+        """
+        rows = np.asarray(rows, dtype=np.intp)
+        cols = np.asarray(cols, dtype=np.intp)
+        values = np.asarray(values, dtype=float)
+        bands = _coo_tridiagonal_bands(rows, cols, values, n)
+        if bands is not None:
+            lower, diag, upper = bands
+            if (block_size and n % block_size == 0 and n > block_size
+                    and not np.any(lower[block_size::block_size])
+                    and not np.any(upper[block_size - 1::block_size])):
+                return _BlockTridiagonalFactorization(lower, diag, upper,
+                                                      int(block_size))
+            return _FlatTridiagonalFactorization(lower, diag, upper)
+        if n <= DENSE_SPARSE_LIMIT:
+            return _DenseFallbackFactorization(rows, cols, values, n)
+        raise ConfigurationError(
+            f"the numpy backend only factorizes banded sparse operators "
+            f"above n={DENSE_SPARSE_LIMIT} (got a non-tridiagonal pattern "
+            f"with n={n}); select the 'scipy' backend for general sparse "
+            f"solves")
 
     def stationary_null_vector(self, rows, cols, values, n,
                                guess=None, weights=None,
@@ -182,6 +362,12 @@ class NumpyBackend(NumericsBackend):
         system solved directly.  One step of iterative refinement sharpens
         the result; intended for moderate grids (the dense LU is O(n³)).
         """
+        if n > DENSE_NULL_LIMIT:
+            raise ConfigurationError(
+                f"the numpy backend's dense stationary solve needs an "
+                f"n x n matrix (n={n} exceeds the {DENSE_NULL_LIMIT} "
+                f"limit); select the 'scipy' backend, whose sparse "
+                f"inverse iteration scales to large grids")
         rows = np.asarray(rows, dtype=np.intp)
         cols = np.asarray(cols, dtype=np.intp)
         values = np.asarray(values, dtype=float)
@@ -301,6 +487,38 @@ class _ScipyBandedFactorization:
         return x
 
 
+class _SpluSparseFactorization:
+    """SuperLU factorization of a general COO matrix (scipy backend)."""
+
+    def __init__(self, rows: np.ndarray, cols: np.ndarray,
+                 values: np.ndarray, n: int):
+        from scipy.sparse import csc_matrix
+        from scipy.sparse.linalg import splu
+
+        matrix = csc_matrix(
+            (np.asarray(values, dtype=float),
+             (np.asarray(rows, dtype=np.intp),
+              np.asarray(cols, dtype=np.intp))),
+            shape=(n, n))
+        try:
+            self._factor = splu(matrix.tocsc())
+        except RuntimeError as error:
+            raise ConvergenceError(
+                f"sparse LU factorization failed: {error}") from error
+        self.n = n
+
+    def solve(self, rhs: np.ndarray, out: Optional[np.ndarray] = None
+              ) -> np.ndarray:
+        rhs = np.asarray(rhs, dtype=float)
+        if rhs.shape != (self.n,):
+            raise ValueError(f"rhs must have shape ({self.n},), got {rhs.shape}")
+        x = self._factor.solve(rhs)
+        if out is not None:
+            np.copyto(out, x)
+            return out
+        return x
+
+
 class ScipyBackend(NumericsBackend):
     """LAPACK-accelerated backend (requires scipy)."""
 
@@ -391,6 +609,18 @@ class ScipyBackend(NumericsBackend):
                           "iterations": iterations,
                           "method": "sparse-row-replacement"}
 
+    def factorize_sparse(self, rows, cols, values, n, block_size=None):
+        """General sparse LU via ``scipy.sparse.linalg.splu``.
+
+        Handles any sparsity pattern; *block_size* is accepted for interface
+        parity but not needed (SuperLU's fill-reducing ordering exploits the
+        block structure on its own).
+        """
+        if not self.is_available():  # pragma: no cover - env dependent
+            raise ConfigurationError(
+                "the 'scipy' backend was requested but scipy is not installed")
+        return _SpluSparseFactorization(rows, cols, values, n)
+
     def factorize_tridiagonal(self, lower, diag, upper):
         if not self.is_available():  # pragma: no cover - env dependent
             raise ConfigurationError(
@@ -458,15 +688,22 @@ def get_backend(name: Optional[str] = None) -> NumericsBackend:
         For unknown backend names, or when the requested backend cannot run
         in this environment.
     """
+    source = "explicit"
     if not name:
-        name = os.environ.get(BACKEND_ENV_VAR, "") or "numpy"
+        env_name = os.environ.get(BACKEND_ENV_VAR, "")
+        if env_name:
+            name = env_name
+            source = f"the {BACKEND_ENV_VAR} environment variable"
+        else:
+            name = "numpy"
     if name == "auto":
         name = ScipyBackend.name if scipy_available() else NumpyBackend.name
     factory = _REGISTRY.get(name)
     if factory is None:
+        origin = "" if source == "explicit" else f" (from {source})"
         raise ConfigurationError(
-            f"unknown numerics backend {name!r}; registered backends: "
-            f"{sorted(_REGISTRY)}")
+            f"unknown numerics backend {name!r}{origin}; available backends "
+            f"in this environment: {available_backends()} (plus 'auto')")
     instance = _INSTANCES.get(name)
     if instance is None:
         instance = factory()

@@ -448,6 +448,21 @@ def _density_grid(params: SystemParameters, seed: Optional[int],
         master_seed=seed)
 
 
+def _fp2d_grid(params: SystemParameters, seed: Optional[int],
+               t_end: Optional[float]) -> List[JobSpec]:
+    # The stepper axis updates SystemParameters.stepper (it is a parameter
+    # field), so each point's content-addressed cache key distinguishes the
+    # marching schemes; sigma spans the diffusion-light and diffusion-heavy
+    # regimes where the axis and ADI steppers respectively win (see
+    # docs/performance.md).
+    return build_matrix(
+        density_point, params,
+        axes={"stepper": ["axis", "adi"], "sigma": [0.5, 2.0]},
+        fixed={"t_end": t_end if t_end is not None else 40.0,
+               "nq": 160, "nv": 96},
+        master_seed=seed)
+
+
 def _delay_grid(params: SystemParameters, seed: Optional[int],
                 t_end: Optional[float]) -> List[JobSpec]:
     return build_matrix(
@@ -583,6 +598,10 @@ _MATRICES: Dict[str, MatrixDefinition] = {
         "density-grid",
         "Fokker-Planck final moments over a sigma x c1 grid (12 jobs)",
         _density_grid),
+    "fp2d-steppers": MatrixDefinition(
+        "fp2d-steppers",
+        "axis-vs-ADI FP moments over stepper x sigma at nq=160 (4 jobs)",
+        _fp2d_grid),
     "delay-grid": MatrixDefinition(
         "delay-grid",
         "delayed-feedback oscillation metrics over delay x c1 (12 jobs)",

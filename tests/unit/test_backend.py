@@ -8,6 +8,8 @@ from repro.core.diffusion import CrankNicolsonDiffusion
 from repro.exceptions import ConfigurationError
 from repro.numerics.backend import (
     BACKEND_ENV_VAR,
+    DENSE_NULL_LIMIT,
+    DENSE_SPARSE_LIMIT,
     NumpyBackend,
     available_backends,
     get_backend,
@@ -53,6 +55,20 @@ class TestRegistry:
     def test_unknown_name_raises(self):
         with pytest.raises(ConfigurationError):
             get_backend("no-such-backend")
+
+    def test_unknown_name_lists_available_backends(self):
+        with pytest.raises(ConfigurationError) as err:
+            get_backend("no-such-backend")
+        message = str(err.value)
+        for name in available_backends():
+            assert name in message
+        assert "auto" in message
+
+    def test_unknown_env_name_cites_the_env_var(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "no-such-backend")
+        with pytest.raises(ConfigurationError) as err:
+            get_backend()
+        assert BACKEND_ENV_VAR in str(err.value)
 
     def test_available_backends_contains_numpy(self):
         assert "numpy" in available_backends()
@@ -143,6 +159,113 @@ class TestScipyParity:
         assert a.mean_q == pytest.approx(b.mean_q, abs=1e-11)
         assert a.var_q == pytest.approx(b.var_q, abs=1e-11)
         assert a.mass == pytest.approx(b.mass, abs=1e-11)
+
+
+def _coo_from_bands(lower, diag, upper):
+    """COO triplets of the tridiagonal matrix with the given bands."""
+    n = diag.size
+    idx = np.arange(n)
+    rows = np.concatenate([idx, idx[1:], idx[:-1]])
+    cols = np.concatenate([idx, idx[1:] - 1, idx[:-1] + 1])
+    values = np.concatenate([diag, lower[1:], upper[:-1]])
+    return rows, cols, values
+
+
+def _dense_from_coo(rows, cols, values, n):
+    dense = np.zeros((n, n))
+    np.add.at(dense, (rows, cols), values)
+    return dense
+
+
+class TestFactorizeSparse:
+    def test_flat_tridiagonal(self, rng):
+        n = 50
+        lower, diag, upper = _cn_bands(n, 0.6)
+        rows, cols, values = _coo_from_bands(lower, diag, upper)
+        dense = _dense_from_coo(rows, cols, values, n)
+        fact = get_backend("numpy").factorize_sparse(rows, cols, values, n)
+        rhs = rng.uniform(0.0, 1.0, n)
+        assert np.allclose(dense @ fact.solve(rhs), rhs, atol=1e-11)
+
+    def test_block_decoupled_tridiagonal(self, rng):
+        # Zeroed couplings at every block boundary: the numpy backend must
+        # recognise the structure and still solve the system exactly.
+        blocks, block_size = 6, 8
+        n = blocks * block_size
+        lower, diag, upper = _cn_bands(n, 0.6)
+        lower[block_size::block_size] = 0.0
+        upper[block_size - 1::block_size] = 0.0
+        rows, cols, values = _coo_from_bands(lower, diag, upper)
+        dense = _dense_from_coo(rows, cols, values, n)
+        fact = get_backend("numpy").factorize_sparse(rows, cols, values, n,
+                                                     block_size=block_size)
+        rhs = rng.uniform(0.0, 1.0, n)
+        assert np.allclose(dense @ fact.solve(rhs), rhs, atol=1e-11)
+
+    def test_non_tridiagonal_dense_fallback(self, rng):
+        # A pentadiagonal matrix has no banded fast path on numpy; small
+        # systems fall back to a dense inverse.
+        n = 40
+        idx = np.arange(n)
+        rows = np.concatenate([idx, idx[2:], idx[:-2]])
+        cols = np.concatenate([idx, idx[2:] - 2, idx[:-2] + 2])
+        values = np.concatenate([np.full(n, 3.0), np.full(n - 2, -1.0),
+                                 np.full(n - 2, -1.0)])
+        dense = _dense_from_coo(rows, cols, values, n)
+        fact = get_backend("numpy").factorize_sparse(rows, cols, values, n)
+        rhs = rng.uniform(0.0, 1.0, n)
+        assert np.allclose(dense @ fact.solve(rhs), rhs, atol=1e-11)
+
+    def test_non_tridiagonal_too_large_raises(self):
+        n = DENSE_SPARSE_LIMIT + 2
+        idx = np.arange(n)
+        rows = np.concatenate([idx, idx[2:]])
+        cols = np.concatenate([idx, idx[2:] - 2])
+        values = np.concatenate([np.full(n, 3.0), np.full(n - 2, -1.0)])
+        with pytest.raises(ConfigurationError):
+            get_backend("numpy").factorize_sparse(rows, cols, values, n)
+
+    def test_null_vector_guards_dense_blowup(self):
+        n = DENSE_NULL_LIMIT + 1
+        idx = np.arange(n)
+        with pytest.raises(ConfigurationError) as err:
+            get_backend("numpy").stationary_null_vector(
+                idx, idx, np.ones(n), n)
+        assert "scipy" in str(err.value)
+
+    @needs_scipy
+    def test_scipy_parity(self, rng):
+        n = 64
+        lower, diag, upper = _cn_bands(n, 0.9)
+        lower[16::16] = 0.0
+        upper[15::16] = 0.0
+        rows, cols, values = _coo_from_bands(lower, diag, upper)
+        numpy_fact = get_backend("numpy").factorize_sparse(
+            rows, cols, values, n, block_size=16)
+        scipy_fact = get_backend("scipy").factorize_sparse(
+            rows, cols, values, n, block_size=16)
+        for _ in range(3):
+            rhs = rng.uniform(-1.0, 1.0, n)
+            assert np.allclose(scipy_fact.solve(rhs), numpy_fact.solve(rhs),
+                               rtol=0.0, atol=1e-12)
+
+    @needs_scipy
+    def test_scipy_handles_general_sparsity(self, rng):
+        # splu does not care about bandedness; a large pentadiagonal system
+        # that the numpy path rejects must factorize fine on scipy.
+        n = DENSE_SPARSE_LIMIT + 2
+        idx = np.arange(n)
+        rows = np.concatenate([idx, idx[2:], idx[:-2]])
+        cols = np.concatenate([idx, idx[2:] - 2, idx[:-2] + 2])
+        values = np.concatenate([np.full(n, 3.0), np.full(n - 2, -1.0),
+                                 np.full(n - 2, -1.0)])
+        fact = get_backend("scipy").factorize_sparse(rows, cols, values, n)
+        rhs = rng.uniform(0.0, 1.0, n)
+        solution = fact.solve(rhs)
+        residual = 3.0 * solution
+        residual[2:] -= solution[:-2]
+        residual[:-2] -= solution[2:]
+        assert np.allclose(residual, rhs, atol=1e-11)
 
 
 class TestBackendObjects:

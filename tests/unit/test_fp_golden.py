@@ -6,6 +6,10 @@ canonical small test configs.  The optimized hot path must reproduce them:
 bit-for-bit where the operation order is unchanged (the σ = 0 purely
 hyperbolic path) and to ≤ 1e-12 where cached/reordered kernels are used
 (the dense combined Crank-Nicolson operator, pre-scaled advection).
+
+Every test runs once per registered numerics backend, so the golden pins
+gate the scipy kernels (when installed) exactly as hard as the pure-numpy
+ones.
 """
 
 import numpy as np
@@ -19,6 +23,7 @@ from repro import (
     TimeParameters,
 )
 from repro.delay.fokker_planck_delay import DelayedFokkerPlanckSolver
+from repro.numerics.backend import available_backends
 
 #: (mass, mean_q, var_q, mean_v, var_v, covariance) at the final snapshot,
 #: computed with the seed implementation.
@@ -49,46 +54,57 @@ def _assert_close(actual, expected, tol):
         assert got == pytest.approx(want, abs=tol)
 
 
+@pytest.fixture(params=available_backends())
+def backend_name(request):
+    return request.param
+
+
 class TestSeedGoldenValues:
-    def test_noisy_canonical(self, jrj_control):
-        params = SystemParameters(mu=1.0, sigma=0.4, **CONTROL_KW)
+    def test_noisy_canonical(self, jrj_control, backend_name):
+        params = SystemParameters(mu=1.0, sigma=0.4, backend=backend_name,
+                                  **CONTROL_KW)
         result = FokkerPlanckSolver(params, jrj_control, grid_params=GRID
                                     ).solve_from_point(2.0, 0.6, TIME)
         _assert_close(_moment_tuple(result.final_moments),
                       SEED_GOLDEN["noisy"], tol=1e-12)
 
-    def test_sigma_zero_is_bitwise_identical(self, jrj_control):
+    def test_sigma_zero_is_bitwise_identical(self, jrj_control, backend_name):
         # No diffusion -> the whole substep chain keeps the seed's exact
         # floating-point operation order, so the agreement must be exact.
-        params = SystemParameters(mu=1.0, sigma=0.0, **CONTROL_KW)
+        params = SystemParameters(mu=1.0, sigma=0.0, backend=backend_name,
+                                  **CONTROL_KW)
         result = FokkerPlanckSolver(params, jrj_control, grid_params=GRID
                                     ).solve_from_point(2.0, 0.6, TIME)
         assert _moment_tuple(result.final_moments) == SEED_GOLDEN["sigma0"]
 
-    def test_delayed_feedback(self, jrj_control):
-        params = SystemParameters(mu=1.0, sigma=0.4, **CONTROL_KW)
+    def test_delayed_feedback(self, jrj_control, backend_name):
+        params = SystemParameters(mu=1.0, sigma=0.4, backend=backend_name,
+                                  **CONTROL_KW)
         solver = DelayedFokkerPlanckSolver(params, jrj_control, delay=2.0,
                                            grid_params=GRID)
         result = solver.solve_from_point(2.0, 0.6, TIME)
         _assert_close(_moment_tuple(result.final_moments),
                       SEED_GOLDEN["delayed"], tol=1e-12)
 
-    def test_high_sigma_subcycled_diffusion(self, jrj_control):
-        params = SystemParameters(mu=1.0, sigma=2.0, **CONTROL_KW)
+    def test_high_sigma_subcycled_diffusion(self, jrj_control, backend_name):
+        params = SystemParameters(mu=1.0, sigma=2.0, backend=backend_name,
+                                  **CONTROL_KW)
         result = FokkerPlanckSolver(params, jrj_control, grid_params=GRID
                                     ).solve_from_point(
             2.0, 0.6, TimeParameters(t_end=10.0, dt=0.5, snapshot_every=4))
         _assert_close(_moment_tuple(result.final_moments),
                       SEED_GOLDEN["highsigma"], tol=1e-12)
 
-    def test_repeated_solves_are_deterministic(self, jrj_control):
+    def test_repeated_solves_are_deterministic(self, jrj_control,
+                                               backend_name):
         # The cached operators and reused scratch buffers must not leak
         # state between solves on the same instance.  The first solve warms
         # the operator cache (its first use of each diffusion number runs
         # the factorized step before the dense upgrade), so it may differ
         # from later solves at rounding level; solves on a warm cache must
         # be exactly reproducible.
-        params = SystemParameters(mu=1.0, sigma=0.4, **CONTROL_KW)
+        params = SystemParameters(mu=1.0, sigma=0.4, backend=backend_name,
+                                  **CONTROL_KW)
         solver = FokkerPlanckSolver(params, jrj_control, grid_params=GRID)
         first = solver.solve_from_point(2.0, 0.6, TIME)
         second = solver.solve_from_point(2.0, 0.6, TIME)
